@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the simulation engine itself: event-queue
+//! throughput, analytical-network message processing, and a full
+//! ring-all-reduce system simulation. These track the simulator's own
+//! performance (events/second), not any paper figure.
+
+use astra_des::{EventQueue, Time};
+use astra_network::{AnalyticalNet, Backend, Message, NetworkConfig};
+use astra_system::{BackendKind, CollectiveRequest, SystemConfig, SystemSim};
+use astra_topology::{Dim, LogicalTopology, NodeId, Torus3d};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    const N: u64 = 10_000;
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..N {
+                q.schedule_at(Time::from_cycles((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_analytical_net(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analytical_net");
+    const MSGS: u64 = 1_000;
+    g.throughput(Throughput::Elements(MSGS));
+    g.bench_function("ring_messages_1k", |b| {
+        let topo = LogicalTopology::torus(Torus3d::new(1, 8, 1, 1, 2, 1).unwrap());
+        b.iter(|| {
+            let mut net = AnalyticalNet::new(&topo, &NetworkConfig::default());
+            let mut q = EventQueue::new();
+            for i in 0..MSGS {
+                let src = NodeId((i % 8) as usize);
+                let route = topo.ring_route(Dim::Horizontal, 0, src, 1).unwrap();
+                let dst = route.dst();
+                net.send(&mut q, Message::new(i, src, dst, 4096, 0), route)
+                    .unwrap();
+            }
+            let mut arrivals = Vec::new();
+            while let Some((_, ev)) = q.pop() {
+                net.handle(&mut q, ev, &mut arrivals);
+            }
+            black_box(arrivals.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_system_all_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system_sim");
+    g.bench_function("all_reduce_4x4x4_1MB", |b| {
+        b.iter(|| {
+            let topo = LogicalTopology::torus(Torus3d::new(4, 4, 4, 2, 2, 2).unwrap());
+            let mut sim = SystemSim::new(
+                topo,
+                SystemConfig::default(),
+                &NetworkConfig::default(),
+                BackendKind::Analytical,
+            );
+            sim.issue_collective(CollectiveRequest::all_reduce(1 << 20))
+                .unwrap();
+            sim.run_until_idle();
+            black_box(sim.events_processed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_analytical_net,
+    bench_system_all_reduce
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig 9 — 1D topology: alltoall vs. Torus comparison.
+//!
+//! 8 NAPs, 1 NAM each. "Each NAM has 8 links with one link per peer NAM for
+//! alltoall topology (through 7 global switches, leaving 1 link unused) and
+//! four links per peer NAM for Torus topology (1D ring)." (§V-A)
+//!
+//! Paper claims reproduced:
+//! * all-to-all collective: the alltoall topology always outperforms the
+//!   torus;
+//! * all-reduce: the torus overtakes the alltoall topology as the message
+//!   size grows (8 usable links vs 7, better pipelining).
+
+use astra_bench::{
+    alltoall_cfg, check, collective_cycles, emit, header, table_iv, torus_cfg, SIZE_SWEEP,
+};
+use astra_core::output::{fmt_bytes, Table};
+use astra_system::CollectiveRequest;
+
+fn main() {
+    header("Fig 9", "1D topology: 1x8 alltoall vs 1x8x1 torus");
+    // 4 links per ring neighbor = 4 bidirectional rings.
+    let torus = torus_cfg(1, 8, 1, 1, 4, 1, table_iv());
+    let a2a = alltoall_cfg(1, 8, 1, 7, table_iv());
+
+    let mut t = Table::new(
+        ["collective", "size", "alltoall_cycles", "torus_cycles"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut rows: Vec<(&str, u64, u64, u64)> = Vec::new();
+    for (name, make) in [
+        ("all-reduce", CollectiveRequest::all_reduce as fn(u64) -> CollectiveRequest),
+        ("all-to-all", CollectiveRequest::all_to_all as fn(u64) -> CollectiveRequest),
+    ] {
+        for bytes in SIZE_SWEEP {
+            let ta = collective_cycles(&a2a, make(bytes));
+            let tt = collective_cycles(&torus, make(bytes));
+            t.row(vec![
+                name.into(),
+                fmt_bytes(bytes),
+                ta.to_string(),
+                tt.to_string(),
+            ]);
+            rows.push((name, bytes, ta, tt));
+        }
+    }
+    emit(&t);
+
+    let a2a_rows: Vec<_> = rows.iter().filter(|r| r.0 == "all-to-all").collect();
+    check(
+        "all-to-all collective: alltoall topology wins at every size",
+        a2a_rows.iter().all(|r| r.2 < r.3),
+    );
+    let ar_rows: Vec<_> = rows.iter().filter(|r| r.0 == "all-reduce").collect();
+    check(
+        "all-reduce: torus wins at the largest message size",
+        ar_rows.last().unwrap().3 < ar_rows.last().unwrap().2,
+    );
+    check(
+        "all-reduce: torus's relative advantage grows with message size",
+        {
+            let first = ar_rows.first().unwrap();
+            let last = ar_rows.last().unwrap();
+            (last.3 as f64 / last.2 as f64) < (first.3 as f64 / first.2 as f64)
+        },
+    );
+}

@@ -1,0 +1,57 @@
+//! Fig 17 — ResNet-50 compute vs exposed-communication ratio as the system
+//! grows.
+//!
+//! Torus dimensions sweep 2x2x2 (8 NPUs) to 2x8x8 (128 NPUs); the paper
+//! measures the exposed-communication share rising from 4.1% to 25.2%.
+//!
+//! Checks:
+//! * the exposed ratio grows monotonically with system size;
+//! * it is small on the 8-NPU system and grows by at least 2.5× by 128
+//!   NPUs.
+
+use astra_bench::{calibrated_resnet50, check, emit, header, table_iv, torus_cfg, training};
+use astra_core::output::Table;
+
+fn main() {
+    header(
+        "Fig 17",
+        "ResNet-50 exposed-communication ratio vs system size (2x2x2 .. 2x8x8)",
+    );
+    let shapes: [(usize, usize, usize); 5] =
+        [(2, 2, 2), (2, 4, 2), (2, 4, 4), (2, 8, 4), (2, 8, 8)];
+
+    let mut t = Table::new(
+        ["shape", "npus", "compute", "exposed", "exposed_ratio_pct"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let mut ratios = Vec::new();
+    for (m, n, k) in shapes {
+        let cfg = torus_cfg(m, n, k, 2, 2, 2, table_iv());
+        let report = training(&cfg, calibrated_resnet50());
+        let ratio = report.exposed_ratio();
+        ratios.push(ratio);
+        t.row(vec![
+            format!("{m}x{n}x{k}"),
+            (m * n * k).to_string(),
+            report.total_compute.cycles().to_string(),
+            report.total_exposed.cycles().to_string(),
+            format!("{:.1}", ratio * 100.0),
+        ]);
+    }
+    emit(&t);
+    println!("paper: 4.1% at 8 NPUs -> 25.2% at 128 NPUs");
+
+    check(
+        "exposed ratio grows monotonically with system size",
+        ratios.windows(2).all(|w| w[1] >= w[0]),
+    );
+    check(
+        "128-NPU exposure is at least 2.5x the 8-NPU exposure",
+        ratios[4] > 2.5 * ratios[0],
+    );
+    check(
+        "the 8-NPU system hides most communication (exposed < 15%)",
+        ratios[0] < 0.15,
+    );
+}

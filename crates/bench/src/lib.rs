@@ -1,0 +1,201 @@
+//! Shared experiment plumbing for the figure-regeneration benches.
+//!
+//! Every `benches/figNN_*.rs` target reproduces one figure of the paper's
+//! evaluation (§V): it builds the figure's exact configuration from
+//! Table IV, sweeps the figure's x-axis, prints the series as a table and
+//! as CSV, and asserts the *qualitative* claims the paper makes about the
+//! figure (who wins, where crossovers fall). Absolute cycle counts are not
+//! expected to match the authors' Garnet build — shapes are.
+
+use astra_core::output::Table;
+use astra_core::{SimConfig, Simulator, TopologyConfig};
+use astra_network::NetworkConfig;
+use astra_system::{BackendKind, CollectiveRequest, SystemConfig};
+use astra_workload::{TrainingReport, Workload};
+
+/// The message-size sweep the bandwidth-test figures use (64 KiB – 64 MiB).
+pub const SIZE_SWEEP: [u64; 6] = [
+    64 << 10,
+    256 << 10,
+    1 << 20,
+    4 << 20,
+    16 << 20,
+    64 << 20,
+];
+
+/// Table IV network parameters (the crate defaults reproduce them).
+pub fn table_iv() -> NetworkConfig {
+    NetworkConfig::default()
+}
+
+/// Table IV with *symmetric* links: intra-package links get the
+/// inter-package technology (Fig 10's "links with same BW" and Fig 11's
+/// symmetric baseline).
+pub fn symmetric_net() -> NetworkConfig {
+    let mut net = NetworkConfig::default();
+    net.local = net.package;
+    net
+}
+
+/// A torus `SimConfig` with explicit ring counts.
+pub fn torus_cfg(
+    local: usize,
+    horizontal: usize,
+    vertical: usize,
+    local_rings: usize,
+    h_bi_rings: usize,
+    v_bi_rings: usize,
+    net: NetworkConfig,
+) -> SimConfig {
+    SimConfig {
+        topology: TopologyConfig::Torus {
+            local,
+            horizontal,
+            vertical,
+            local_rings,
+            horizontal_rings: h_bi_rings,
+            vertical_rings: v_bi_rings,
+        },
+        system: SystemConfig::default(),
+        network: net,
+        backend: BackendKind::Analytical,
+        passes: 2,
+        overlay: None,
+    }
+}
+
+/// A hierarchical-alltoall `SimConfig`.
+pub fn alltoall_cfg(
+    local: usize,
+    packages: usize,
+    local_rings: usize,
+    switches: usize,
+    net: NetworkConfig,
+) -> SimConfig {
+    SimConfig {
+        topology: TopologyConfig::AllToAll {
+            local,
+            packages,
+            local_rings,
+            switches,
+        },
+        system: SystemConfig::default(),
+        network: net,
+        backend: BackendKind::Analytical,
+        passes: 2,
+        overlay: None,
+    }
+}
+
+/// Completion time (cycles) of one collective on `cfg`.
+///
+/// # Panics
+///
+/// Panics if the experiment cannot run — a bench must fail loudly.
+pub fn collective_cycles(cfg: &SimConfig, req: CollectiveRequest) -> u64 {
+    Simulator::new(cfg.clone())
+        .expect("valid figure config")
+        .run_collective(req)
+        .expect("collective completes")
+        .duration
+        .cycles()
+}
+
+/// Runs a training workload on `cfg` and returns the report.
+///
+/// # Panics
+///
+/// Panics if the experiment cannot run.
+pub fn training(cfg: &SimConfig, workload: Workload) -> TrainingReport {
+    Simulator::new(cfg.clone())
+        .expect("valid figure config")
+        .run_training(workload)
+        .expect("training completes")
+}
+
+/// Prints a figure header.
+pub fn header(fig: &str, what: &str) {
+    println!("\n================================================================");
+    println!("{fig}: {what}");
+    println!("================================================================");
+}
+
+/// Prints a table both human-readably and as CSV.
+pub fn emit(table: &Table) {
+    println!("{}", table.render());
+    println!("--- csv ---\n{}", table.to_csv());
+}
+
+/// Asserts a qualitative claim from the paper, printing the verdict.
+///
+/// # Panics
+///
+/// Panics when the claim does not hold, so `cargo bench` surfaces
+/// regressions.
+pub fn check(claim: &str, holds: bool) {
+    println!("[{}] {claim}", if holds { "PASS" } else { "FAIL" });
+    assert!(holds, "paper claim violated: {claim}");
+}
+
+/// ResNet-50 with the benchmark calibration applied.
+///
+/// Our closed-form weight-stationary systolic estimates badly underutilize
+/// a 256×256 array on ResNet's small-K/small-N convolutions, whereas the
+/// paper's compute model (SIGMA's analytical mode) maps such GEMMs
+/// flexibly. We calibrate NPU compute power by a single global factor
+/// (14×), chosen so the exposed-communication ratio of the paper's largest
+/// configuration (2x8x8, Fig 17: 25.2%) is matched (we measure 25.0%). All
+/// training figures (14–18) share this calibration; see EXPERIMENTS.md.
+pub fn calibrated_resnet50() -> Workload {
+    scale_compute_power(
+        astra_workload::zoo::resnet50(&astra_compute::ComputeModel::tpu_like_256(), 32),
+        14,
+        1,
+    )
+}
+
+/// Scales every compute delay of a workload by `den/num` — i.e. `num/den`×
+/// compute *power* (Fig 18's knob).
+pub fn scale_compute_power(mut wl: Workload, num: u64, den: u64) -> Workload {
+    for l in &mut wl.layers {
+        l.fwd_compute = l.fwd_compute.scale(den, num);
+        l.ig_compute = l.ig_compute.scale(den, num);
+        l.wg_compute = l.wg_compute.scale(den, num);
+    }
+    wl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_net_equalizes_classes() {
+        let net = symmetric_net();
+        assert_eq!(net.local.gbps, net.package.gbps);
+        assert_eq!(net.local.latency, net.package.latency);
+    }
+
+    #[test]
+    fn collective_cycles_smoke() {
+        let cfg = torus_cfg(1, 4, 1, 1, 1, 1, table_iv());
+        let t = collective_cycles(&cfg, CollectiveRequest::all_reduce(1 << 16));
+        assert!(t > 0);
+    }
+
+    #[test]
+    fn compute_power_scaling_halves_delays() {
+        let wl = astra_workload::zoo::tiny_mlp();
+        let fast = scale_compute_power(wl.clone(), 2, 1);
+        assert_eq!(
+            fast.layers[0].fwd_compute.cycles(),
+            wl.layers[0].fwd_compute.cycles().div_ceil(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "paper claim")]
+    fn failed_check_panics() {
+        check("water flows uphill", false);
+    }
+}

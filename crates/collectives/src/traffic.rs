@@ -1,0 +1,176 @@
+//! Exact traffic accounting for collective plans.
+//!
+//! §V-B of the paper reasons about topologies analytically through "the
+//! total amount of data a node sends out" — e.g. baseline all-reduce on a
+//! `1×64×1` torus sends `126/64·N` per node versus `28/8·N` on `1×8×8` and
+//! `36/8·N` on `4×4×4`. This module reproduces those factors exactly
+//! (rational arithmetic), along with per-link-class byte counts used to
+//! check the enhanced algorithm's "reduce the volume of data across
+//! inter-package links by 4×" claim (§V-C).
+
+use crate::{CollectivePlan, PhaseOp, PhaseSpec, Ratio};
+use astra_topology::LinkClass;
+
+/// Fraction of a phase's *input* each node sends during the phase.
+pub fn phase_send_factor(phase: &PhaseSpec) -> Ratio {
+    let n = phase.size as u64;
+    match phase.op {
+        PhaseOp::ReduceScatter | PhaseOp::AllToAll => Ratio::new(n - 1, n),
+        PhaseOp::AllGather => Ratio::new(n - 1, 1),
+        PhaseOp::AllReduce => Ratio::new(2 * (n - 1), n),
+    }
+}
+
+/// Average link hops each message of the phase traverses.
+///
+/// Ring RS/AG/AR messages go to the neighbor (1 hop). Ring all-to-all sends
+/// distance-`i` software-routed messages, averaging `n/2` hops.
+/// Halving-doubling XOR exchanges on a unidirectional ring also average
+/// `n/2` hops (half the partners sit "behind" the sender). Direct and
+/// switch-borne messages cross two links: NPU → switch → NPU.
+pub fn phase_hop_factor(phase: &PhaseSpec) -> Ratio {
+    use crate::PhaseAlgo;
+    let n = phase.size as u64;
+    if !phase.on_rings {
+        return Ratio::new(2, 1);
+    }
+    match (phase.algo, phase.op) {
+        (PhaseAlgo::Ring, PhaseOp::AllToAll) => Ratio::new(n, 2), // mean of 1..n-1
+        (PhaseAlgo::Ring, _) => Ratio::ONE,
+        (PhaseAlgo::HalvingDoubling, _) => Ratio::new(n, 2),
+        (PhaseAlgo::Direct, _) => Ratio::new(2, 1),
+    }
+}
+
+/// Fraction of the collective's set size each node *sends* over the whole
+/// plan (the paper's "data a node sends out" factor).
+pub fn send_factor(plan: &CollectivePlan) -> Ratio {
+    plan.phases()
+        .iter()
+        .map(|p| p.input_scale * phase_send_factor(p))
+        .fold(Ratio::ZERO, |a, b| a + b)
+}
+
+/// Bytes each node sends for a collective over `set_bytes` of data.
+pub fn bytes_sent_per_node(plan: &CollectivePlan, set_bytes: u64) -> u64 {
+    send_factor(plan).apply(set_bytes)
+}
+
+/// Per-node bytes *crossing links* of each class `(local, package)`,
+/// including multi-hop relaying and switch traversals. Scale-out bytes are
+/// reported by [`link_bytes_per_node_all`].
+pub fn link_bytes_per_node(plan: &CollectivePlan, set_bytes: u64) -> (u64, u64) {
+    let [local, package, _] = link_bytes_per_node_all(plan, set_bytes);
+    (local, package)
+}
+
+/// Per-node link-crossing bytes for all three classes:
+/// `[local, package, scale_out]`.
+pub fn link_bytes_per_node_all(plan: &CollectivePlan, set_bytes: u64) -> [u64; 3] {
+    let mut by_class = [Ratio::ZERO; 3];
+    for p in plan.phases() {
+        let f = p.input_scale * phase_send_factor(p) * phase_hop_factor(p);
+        let slot = match p.class {
+            LinkClass::Local => 0,
+            LinkClass::Package => 1,
+            LinkClass::ScaleOut => 2,
+        };
+        by_class[slot] = by_class[slot] + f;
+    }
+    by_class.map(|r| r.apply(set_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{plan, Algorithm, CollectiveOp};
+    use astra_topology::{LogicalTopology, Torus3d};
+
+    fn ar_factor(m: usize, n: usize, k: usize, algo: Algorithm) -> Ratio {
+        let topo = LogicalTopology::torus(
+            Torus3d::new(
+                m,
+                n,
+                k,
+                if m > 1 { 2 } else { 1 },
+                if n > 1 { 2 } else { 1 },
+                if k > 1 { 2 } else { 1 },
+            )
+            .unwrap(),
+        );
+        send_factor(&plan(&topo, CollectiveOp::AllReduce, algo, None).unwrap())
+    }
+
+    /// §V-B quotes these factors verbatim for Fig 10's four configurations.
+    #[test]
+    fn paper_fig10_send_factors() {
+        assert_eq!(ar_factor(1, 64, 1, Algorithm::Baseline), Ratio::new(126, 64));
+        assert_eq!(ar_factor(1, 8, 8, Algorithm::Baseline), Ratio::new(28, 8));
+        assert_eq!(ar_factor(2, 8, 4, Algorithm::Baseline), Ratio::new(34, 8));
+        assert_eq!(ar_factor(4, 4, 4, Algorithm::Baseline), Ratio::new(36, 8));
+    }
+
+    /// §V-C: the enhanced 4-phase algorithm reduces inter-package volume 4×
+    /// on a 4-NAM package.
+    #[test]
+    fn enhanced_cuts_inter_package_traffic_4x() {
+        let topo = LogicalTopology::torus(Torus3d::new(4, 4, 4, 2, 4, 4).unwrap());
+        let set = 1 << 20;
+        let base = plan(&topo, CollectiveOp::AllReduce, Algorithm::Baseline, None).unwrap();
+        let enh = plan(&topo, CollectiveOp::AllReduce, Algorithm::Enhanced, None).unwrap();
+        let (_, base_pkg) = link_bytes_per_node(&base, set);
+        let (_, enh_pkg) = link_bytes_per_node(&enh, set);
+        assert_eq!(base_pkg, 4 * enh_pkg);
+    }
+
+    #[test]
+    fn enhanced_total_factor_4x4x4() {
+        // RS local 3/4 + 2 AR phases at 1/4 scale (2*3/4/4 each) + AG local
+        // at 1/4 scale (3 shards of N/4): 3/4 + 3/8 + 3/8 + 3/4 = 9/4.
+        assert_eq!(ar_factor(4, 4, 4, Algorithm::Enhanced), Ratio::new(9, 4));
+    }
+
+    #[test]
+    fn reduce_scatter_factor_telescopes() {
+        // RS over (2,4): (1/2) + (1/2)(3/4) = 7/8 = 1 - 1/8.
+        let topo = LogicalTopology::torus(Torus3d::new(2, 4, 1, 1, 1, 1).unwrap());
+        let p = plan(&topo, CollectiveOp::ReduceScatter, Algorithm::Baseline, None).unwrap();
+        assert_eq!(send_factor(&p), Ratio::new(7, 8));
+    }
+
+    #[test]
+    fn all_gather_factor() {
+        // AG over (2,4) reversed: (3) + (4)(1/1)... phase1 over horizontal
+        // size 4 at scale 1 -> 3; phase2 over local size 2 at scale 4 -> 4.
+        // Total 7 = P - 1 with P = 8.
+        let topo = LogicalTopology::torus(Torus3d::new(2, 4, 1, 1, 1, 1).unwrap());
+        let p = plan(&topo, CollectiveOp::AllGather, Algorithm::Baseline, None).unwrap();
+        assert_eq!(send_factor(&p), Ratio::new(7, 1));
+    }
+
+    #[test]
+    fn rs_plus_ag_equals_enhanced_all_reduce_factor() {
+        // Fully hierarchical RS followed by AG moves 2(1 - 1/P) in total,
+        // always less than any baseline with >1 dim.
+        let topo = LogicalTopology::torus(Torus3d::new(2, 4, 1, 1, 1, 1).unwrap());
+        let rs = plan(&topo, CollectiveOp::ReduceScatter, Algorithm::Baseline, None).unwrap();
+        let ag = plan(&topo, CollectiveOp::AllGather, Algorithm::Baseline, None).unwrap();
+        // AG starts from a 1/P shard, so its byte factor relative to the
+        // *original* set is send_factor(ag) / P.
+        let p = 8u64;
+        let combined = send_factor(&rs)
+            + Ratio::new(send_factor(&ag).num(), send_factor(&ag).den() * p);
+        assert_eq!(combined, Ratio::new(2 * (p - 1), p));
+    }
+
+    #[test]
+    fn a2a_ring_hops_average_half_ring() {
+        let topo = LogicalTopology::torus(Torus3d::new(1, 8, 1, 1, 1, 1).unwrap());
+        let p = plan(&topo, CollectiveOp::AllToAll, Algorithm::Baseline, None).unwrap();
+        let phase = &p.phases()[0];
+        assert_eq!(phase_hop_factor(phase), Ratio::new(8, 2));
+        // Link bytes = send bytes x 4 average hops.
+        let (_, pkg) = link_bytes_per_node(&p, 800);
+        assert_eq!(pkg, Ratio::new(7, 8).apply(800) * 4);
+    }
+}

@@ -1,0 +1,112 @@
+//! GEMM shapes and training-pass relationships.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense matrix multiplication `C[M×N] = A[M×K] · B[K×N]`.
+///
+/// For a DNN layer in training:
+///
+/// * forward pass: `Y = X·W` with `X: M×K` (M = batch·spatial positions,
+///   K = input features) and `W: K×N` (N = output features);
+/// * input-gradient pass: `dX = dY·Wᵀ`, an `M×N·N×K` GEMM;
+/// * weight-gradient pass: `dW = Xᵀ·dY`, a `K×M·M×N` GEMM.
+///
+/// All three perform the same number of multiply-accumulates; what differs
+/// is the mapping onto the array (and hence the fill/drain overheads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gemm {
+    /// Rows of the output.
+    pub m: u64,
+    /// Contraction dimension.
+    pub k: u64,
+    /// Columns of the output.
+    pub n: u64,
+}
+
+impl Gemm {
+    /// Creates a GEMM shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(m: u64, k: u64, n: u64) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "GEMM dims must be positive");
+        Gemm { m, k, n }
+    }
+
+    /// Multiply-accumulate count (`M·K·N`).
+    pub fn macs(&self) -> u128 {
+        self.m as u128 * self.k as u128 * self.n as u128
+    }
+
+    /// Floating-point operations (2 per MAC).
+    pub fn flops(&self) -> u128 {
+        2 * self.macs()
+    }
+
+    /// Total operand + result elements touched (`M·K + K·N + M·N`).
+    pub fn elements_touched(&self) -> u128 {
+        self.m as u128 * self.k as u128
+            + self.k as u128 * self.n as u128
+            + self.m as u128 * self.n as u128
+    }
+
+    /// The two backward GEMMs of a layer whose forward pass is `self`:
+    /// `(input_gradient, weight_gradient)`.
+    pub fn backward(&self) -> (Gemm, Gemm) {
+        let ig = Gemm {
+            m: self.m,
+            k: self.n,
+            n: self.k,
+        };
+        let wg = Gemm {
+            m: self.k,
+            k: self.m,
+            n: self.n,
+        };
+        (ig, wg)
+    }
+}
+
+impl fmt::Display for Gemm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "GEMM {}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macs_and_flops() {
+        let g = Gemm::new(2, 3, 4);
+        assert_eq!(g.macs(), 24);
+        assert_eq!(g.flops(), 48);
+        assert_eq!(g.elements_touched(), 6 + 12 + 8);
+    }
+
+    #[test]
+    fn backward_preserves_work() {
+        let g = Gemm::new(128, 256, 512);
+        let (ig, wg) = g.backward();
+        assert_eq!(ig.macs(), g.macs());
+        assert_eq!(wg.macs(), g.macs());
+        // dX has the shape of X: M×K.
+        assert_eq!((ig.m, ig.n), (g.m, g.k));
+        // dW has the shape of W: K×N.
+        assert_eq!((wg.m, wg.n), (g.k, g.n));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_panics() {
+        Gemm::new(0, 1, 1);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Gemm::new(1, 2, 3).to_string(), "GEMM 1x2x3");
+    }
+}

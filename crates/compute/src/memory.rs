@@ -1,0 +1,109 @@
+//! DRAM bandwidth roofline.
+
+use crate::Gemm;
+use astra_des::Clock;
+use serde::{Deserialize, Serialize};
+
+/// A DRAM bandwidth model: the paper "accounted for any stalls that would
+/// result due to limited DRAM bandwidth" (§IV-A).
+///
+/// We apply a roofline: a GEMM whose operand traffic (`A`, `B` and `C`
+/// streamed once each) cannot be delivered within its compute time is
+/// stretched to the memory time.
+///
+/// # Example
+///
+/// ```
+/// use astra_compute::{DramModel, Gemm};
+/// use astra_des::Clock;
+/// let dram = DramModel::new(900.0, 2, Clock::GHZ1); // HBM-class, fp16
+/// let cycles = dram.stream_cycles(Gemm::new(1024, 1024, 1024));
+/// assert!(cycles > 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    gbps: f64,
+    dtype_bytes: u64,
+    clock: Clock,
+}
+
+impl DramModel {
+    /// Creates a model with `gbps` of DRAM bandwidth and `dtype_bytes` per
+    /// element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth or element size is non-positive.
+    pub fn new(gbps: f64, dtype_bytes: u64, clock: Clock) -> Self {
+        assert!(gbps > 0.0, "DRAM bandwidth must be positive");
+        assert!(dtype_bytes > 0, "element size must be positive");
+        DramModel {
+            gbps,
+            dtype_bytes,
+            clock,
+        }
+    }
+
+    /// DRAM bandwidth in GB/s.
+    pub fn gbps(&self) -> f64 {
+        self.gbps
+    }
+
+    /// Bytes per tensor element.
+    pub fn dtype_bytes(&self) -> u64 {
+        self.dtype_bytes
+    }
+
+    /// Bytes a GEMM streams (each operand and the result once).
+    pub fn bytes_touched(&self, gemm: Gemm) -> u128 {
+        gemm.elements_touched() * self.dtype_bytes as u128
+    }
+
+    /// Cycles to stream all GEMM operands at full DRAM bandwidth.
+    pub fn stream_cycles(&self, gemm: Gemm) -> u64 {
+        let bytes = self.bytes_touched(gemm);
+        let bytes = u64::try_from(bytes).expect("operand bytes overflow u64");
+        self.clock.serialization_time(bytes, self.gbps).cycles()
+    }
+
+    /// Applies the roofline: the effective latency of a GEMM given its
+    /// compute-only cycle estimate.
+    pub fn roofline(&self, gemm: Gemm, compute_cycles: u64) -> u64 {
+        compute_cycles.max(self.stream_cycles(gemm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_cycles_formula() {
+        // 10 GB/s at 1 GHz = 10 B/cyc. GEMM 2x3x4 touches 6+12+8=26 elems,
+        // fp32 -> 104 bytes -> ceil(10.4) = 11 cycles.
+        let d = DramModel::new(10.0, 4, Clock::GHZ1);
+        assert_eq!(d.stream_cycles(Gemm::new(2, 3, 4)), 11);
+    }
+
+    #[test]
+    fn roofline_takes_max() {
+        let d = DramModel::new(10.0, 4, Clock::GHZ1);
+        let g = Gemm::new(2, 3, 4);
+        assert_eq!(d.roofline(g, 5), 11); // memory bound
+        assert_eq!(d.roofline(g, 500), 500); // compute bound
+    }
+
+    #[test]
+    fn faster_dram_never_slows_down() {
+        let slow = DramModel::new(100.0, 2, Clock::GHZ1);
+        let fast = DramModel::new(1000.0, 2, Clock::GHZ1);
+        let g = Gemm::new(512, 512, 512);
+        assert!(fast.stream_cycles(g) <= slow.stream_cycles(g));
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth")]
+    fn zero_bandwidth_panics() {
+        DramModel::new(0.0, 2, Clock::GHZ1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Analytical systolic-array GEMM delay formulas.
+
+use crate::Gemm;
+use serde::{Deserialize, Serialize};
+
+/// Dataflow of the systolic array — which operand stays pinned in the PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Weights pinned; inputs stream through rows (TPU-style).
+    WeightStationary,
+    /// Outputs accumulate in place; operands stream in.
+    OutputStationary,
+    /// Inputs pinned; weights stream.
+    InputStationary,
+}
+
+/// An `R × C` systolic array with an analytical runtime model.
+///
+/// The closed forms are the standard SCALE-sim-style estimates: the GEMM is
+/// tiled onto the array, and each tile pays a pipeline fill + stream +
+/// drain cost. Per tile, with `R` rows, `C` columns:
+///
+/// * **weight-stationary**: tiles over `(K/R) × (N/C)`; each tile loads `R`
+///   weight rows, streams `M` activations and drains `C` columns:
+///   `R + M + C − 1` cycles;
+/// * **output-stationary**: tiles over `(M/R) × (N/C)`; each tile streams
+///   `K` partial sums through a `2R + C − 2` deep pipeline:
+///   `2R + C + K − 2` cycles;
+/// * **input-stationary**: symmetric to WS with inputs pinned: tiles over
+///   `(K/R) × (M/C)`, `R + N + C − 1` cycles per tile.
+///
+/// These estimates assume perfect operand delivery; DRAM limits are applied
+/// separately by [`crate::DramModel`].
+///
+/// # Example
+///
+/// ```
+/// use astra_compute::{Dataflow, Gemm, SystolicArray};
+/// let arr = SystolicArray::new(256, 256, Dataflow::WeightStationary);
+/// // One exact tile: K=256, N=256 -> a single (R + M + C - 1) pass.
+/// assert_eq!(arr.gemm_cycles(Gemm::new(64, 256, 256)), 256 + 64 + 256 - 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystolicArray {
+    rows: u64,
+    cols: u64,
+    dataflow: Dataflow,
+}
+
+impl SystolicArray {
+    /// Creates an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(rows: u64, cols: u64, dataflow: Dataflow) -> Self {
+        assert!(rows > 0 && cols > 0, "array dims must be positive");
+        SystolicArray {
+            rows,
+            cols,
+            dataflow,
+        }
+    }
+
+    /// Array rows.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Array columns.
+    pub fn cols(&self) -> u64 {
+        self.cols
+    }
+
+    /// Configured dataflow.
+    pub fn dataflow(&self) -> Dataflow {
+        self.dataflow
+    }
+
+    /// Peak multiply-accumulates per cycle.
+    pub fn peak_macs_per_cycle(&self) -> u64 {
+        self.rows * self.cols
+    }
+
+    /// Estimated cycles to run `gemm` on this array.
+    pub fn gemm_cycles(&self, gemm: Gemm) -> u64 {
+        let (r, c) = (self.rows, self.cols);
+        let Gemm { m, k, n } = gemm;
+        match self.dataflow {
+            Dataflow::WeightStationary => {
+                let tiles = k.div_ceil(r) * n.div_ceil(c);
+                tiles * (r + m + c - 1)
+            }
+            Dataflow::OutputStationary => {
+                let tiles = m.div_ceil(r) * n.div_ceil(c);
+                tiles * (2 * r + c + k - 2)
+            }
+            Dataflow::InputStationary => {
+                let tiles = k.div_ceil(r) * m.div_ceil(c);
+                tiles * (r + n + c - 1)
+            }
+        }
+    }
+
+    /// Achieved utilization for `gemm`: ideal MACs/cycle over peak.
+    pub fn utilization(&self, gemm: Gemm) -> f64 {
+        let cycles = self.gemm_cycles(gemm) as f64;
+        let ideal = gemm.macs() as f64 / self.peak_macs_per_cycle() as f64;
+        ideal / cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ws_single_tile() {
+        let a = SystolicArray::new(4, 4, Dataflow::WeightStationary);
+        // K=4, N=4 -> one tile; M=10: 4 + 10 + 4 - 1 = 17.
+        assert_eq!(a.gemm_cycles(Gemm::new(10, 4, 4)), 17);
+    }
+
+    #[test]
+    fn ws_tiling_multiplies() {
+        let a = SystolicArray::new(4, 4, Dataflow::WeightStationary);
+        // K=8 -> 2 tiles in K; N=12 -> 3 tiles in N. 6 * 17.
+        assert_eq!(a.gemm_cycles(Gemm::new(10, 8, 12)), 6 * 17);
+        // Partial tiles round up: K=5 behaves like K=8.
+        assert_eq!(
+            a.gemm_cycles(Gemm::new(10, 5, 12)),
+            a.gemm_cycles(Gemm::new(10, 8, 12))
+        );
+    }
+
+    #[test]
+    fn os_formula() {
+        let a = SystolicArray::new(4, 4, Dataflow::OutputStationary);
+        // One tile M=4,N=4, K=100: 2*4 + 4 + 100 - 2 = 110.
+        assert_eq!(a.gemm_cycles(Gemm::new(4, 100, 4)), 110);
+    }
+
+    #[test]
+    fn is_formula() {
+        let a = SystolicArray::new(4, 4, Dataflow::InputStationary);
+        // tiles = ceil(K/4)*ceil(M/4) = 1; per tile 4 + N + 4 - 1.
+        assert_eq!(a.gemm_cycles(Gemm::new(4, 4, 20)), 27);
+    }
+
+    #[test]
+    fn utilization_bounded_and_improves_with_m() {
+        let a = SystolicArray::new(256, 256, Dataflow::WeightStationary);
+        let small = a.utilization(Gemm::new(16, 256, 256));
+        let large = a.utilization(Gemm::new(4096, 256, 256));
+        assert!(small < large);
+        assert!(large <= 1.0);
+        assert!(small > 0.0);
+    }
+
+    #[test]
+    fn big_gemm_approaches_roofline() {
+        // For huge M the WS formula approaches M cycles per (K/R x N/C) tile,
+        // i.e. near-100% utilization.
+        let a = SystolicArray::new(256, 256, Dataflow::WeightStationary);
+        let u = a.utilization(Gemm::new(1 << 20, 256, 256));
+        assert!(u > 0.99, "utilization {u}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_array_panics() {
+        SystolicArray::new(0, 1, Dataflow::WeightStationary);
+    }
+}

@@ -1,0 +1,233 @@
+//! End-to-end simulator configuration (Table III).
+
+use astra_network::NetworkConfig;
+use astra_system::{BackendKind, SystemConfig};
+use astra_topology::{HierAllToAll, LogicalTopology, PodFabric, Torus3d, TopologyError};
+use serde::{Deserialize, Serialize};
+
+/// The logical topology rows of Table III (`topology`, `num-npus`,
+/// `num-packages`, `package-rows`, ring/switch counts) in structured form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyConfig {
+    /// Hierarchical torus (`Torus2D`/3D in Table III row 8; `M × N × K`).
+    Torus {
+        /// Local dimension `M` (NAMs per NAP).
+        local: usize,
+        /// Horizontal dimension `N`.
+        horizontal: usize,
+        /// Vertical dimension `K`.
+        vertical: usize,
+        /// Unidirectional intra-package rings (`local-rings`).
+        local_rings: usize,
+        /// Bidirectional horizontal rings (`horizontal-rings`).
+        horizontal_rings: usize,
+        /// Bidirectional vertical rings (`vertical-rings`).
+        vertical_rings: usize,
+    },
+    /// Hierarchical alltoall (`AllToAll` in Table III row 8; `M × N`).
+    AllToAll {
+        /// NAMs per NAP.
+        local: usize,
+        /// Number of packages.
+        packages: usize,
+        /// Unidirectional intra-package rings.
+        local_rings: usize,
+        /// Global switches (`global-switches`).
+        switches: usize,
+    },
+    /// Pods of scale-up torus joined by a scale-out network (§VII future
+    /// work, implemented here).
+    Pods {
+        /// The scale-up pod, as a torus configuration.
+        pod: Box<TopologyConfig>,
+        /// Number of pods.
+        pods: usize,
+        /// Scale-out switches.
+        switches: usize,
+    },
+}
+
+impl TopologyConfig {
+    /// Builds the logical topology.
+    ///
+    /// # Errors
+    ///
+    /// Fails on degenerate shapes (zero sizes, missing rings/switches on
+    /// active dimensions).
+    pub fn build(&self) -> Result<LogicalTopology, TopologyError> {
+        match *self {
+            TopologyConfig::Torus {
+                local,
+                horizontal,
+                vertical,
+                local_rings,
+                horizontal_rings,
+                vertical_rings,
+            } => Ok(LogicalTopology::torus(Torus3d::new(
+                local,
+                horizontal,
+                vertical,
+                local_rings,
+                horizontal_rings,
+                vertical_rings,
+            )?)),
+            TopologyConfig::AllToAll {
+                local,
+                packages,
+                local_rings,
+                switches,
+            } => Ok(LogicalTopology::alltoall(HierAllToAll::new(
+                local,
+                packages,
+                local_rings,
+                switches,
+            )?)),
+            TopologyConfig::Pods {
+                ref pod,
+                pods,
+                switches,
+            } => {
+                let LogicalTopology::Torus3d(pod_torus) = pod.build()? else {
+                    return Err(TopologyError::InvalidShape {
+                        what: "pods must be built from torus scale-up fabrics",
+                    });
+                };
+                Ok(LogicalTopology::pods(PodFabric::new(
+                    pod_torus, pods, switches,
+                )?))
+            }
+        }
+    }
+
+    /// Total NPUs of the configured fabric.
+    pub fn num_npus(&self) -> usize {
+        match *self {
+            TopologyConfig::Torus {
+                local,
+                horizontal,
+                vertical,
+                ..
+            } => local * horizontal * vertical,
+            TopologyConfig::AllToAll {
+                local, packages, ..
+            } => local * packages,
+            TopologyConfig::Pods { ref pod, pods, .. } => pod.num_npus() * pods,
+        }
+    }
+}
+
+/// Runs the logical topology on a *different* physical fabric (§IV-B:
+/// "map a single logical topology on different physical topologies").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverlayConfig {
+    /// The physical fabric messages actually traverse. Must have the same
+    /// NPU count as the logical topology.
+    pub physical: TopologyConfig,
+    /// Logical→physical NPU permutation; identity when `None`.
+    pub permutation: Option<Vec<usize>>,
+}
+
+/// The complete simulator configuration: every parameter of Table III has a
+/// home here (workload-level parameters live on the
+/// [`astra_workload::Workload`] itself).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Logical topology (Table III rows 4–12).
+    pub topology: TopologyConfig,
+    /// System-layer parameters (rows 3, 7, 13, 15–16).
+    pub system: SystemConfig,
+    /// Network parameters (rows 17–28 / Table IV).
+    pub network: NetworkConfig,
+    /// Which network backend to simulate on.
+    pub backend: BackendKind,
+    /// Training iterations for [`crate::Simulator::run_training`]
+    /// (`num-passes`, row 2).
+    pub passes: u32,
+    /// Optional logical→physical overlay (§IV-B).
+    pub overlay: Option<OverlayConfig>,
+}
+
+impl SimConfig {
+    /// A torus fabric with the paper's Table IV ring counts (2 local
+    /// unidirectional, 2 bidirectional per inter-package dimension) and
+    /// default system/network parameters.
+    pub fn torus(local: usize, horizontal: usize, vertical: usize) -> Self {
+        SimConfig {
+            topology: TopologyConfig::Torus {
+                local,
+                horizontal,
+                vertical,
+                local_rings: 2,
+                horizontal_rings: 2,
+                vertical_rings: 2,
+            },
+            system: SystemConfig::default(),
+            network: NetworkConfig::default(),
+            backend: BackendKind::Analytical,
+            passes: 2,
+            overlay: None,
+        }
+    }
+
+    /// A hierarchical alltoall fabric with defaults.
+    pub fn alltoall(local: usize, packages: usize, switches: usize) -> Self {
+        SimConfig {
+            topology: TopologyConfig::AllToAll {
+                local,
+                packages,
+                local_rings: 2,
+                switches,
+            },
+            system: SystemConfig::default(),
+            network: NetworkConfig::default(),
+            backend: BackendKind::Analytical,
+            passes: 2,
+            overlay: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_config_builds() {
+        let c = SimConfig::torus(2, 4, 4);
+        assert_eq!(c.topology.num_npus(), 32);
+        let t = c.topology.build().unwrap();
+        assert_eq!(t.num_npus(), 32);
+        assert_eq!(t.shape_string(), "2x4x4 torus");
+    }
+
+    #[test]
+    fn alltoall_config_builds() {
+        let c = SimConfig::alltoall(1, 8, 7);
+        assert_eq!(c.topology.num_npus(), 8);
+        assert_eq!(c.topology.build().unwrap().shape_string(), "1x8 alltoall");
+    }
+
+    #[test]
+    fn bad_shapes_surface_errors() {
+        let c = SimConfig {
+            topology: TopologyConfig::Torus {
+                local: 0,
+                horizontal: 1,
+                vertical: 1,
+                local_rings: 1,
+                horizontal_rings: 1,
+                vertical_rings: 1,
+            },
+            ..SimConfig::torus(1, 1, 1)
+        };
+        assert!(c.topology.build().is_err());
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = SimConfig::torus(2, 2, 2);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

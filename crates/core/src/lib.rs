@@ -1,0 +1,50 @@
+//! # astra-core
+//!
+//! The end-to-end facade of the ASTRA-sim reproduction: one configuration
+//! struct covering the simulator parameters of Table III, and drivers for
+//! the two experiment shapes the paper's evaluation uses —
+//!
+//! * **bandwidth tests** ([`Simulator::run_collective`]): issue one
+//!   collective of a given size and measure its completion time (Figs
+//!   9–12);
+//! * **training runs** ([`Simulator::run_training`]): simulate full
+//!   forward/backward iterations of a DNN and report layer-wise compute,
+//!   communication, and exposed-communication breakdowns (Figs 13–18).
+//!
+//! Lower-level control (custom backends, custom drivers) remains available
+//! through the underlying crates, all re-exported here.
+//!
+//! ## Example
+//!
+//! ```
+//! use astra_core::{SimConfig, Simulator, TopologyConfig};
+//! use astra_system::CollectiveRequest;
+//!
+//! // An 8-package 1D torus (the paper's 1x8x1), Table IV parameters.
+//! let cfg = SimConfig::torus(1, 8, 1);
+//! let sim = Simulator::new(cfg)?;
+//! let out = sim.run_collective(CollectiveRequest::all_reduce(1 << 20))?;
+//! assert!(out.duration.cycles() > 0);
+//! # Ok::<(), astra_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod error;
+pub mod output;
+mod simulator;
+
+pub use config::{OverlayConfig, SimConfig, TopologyConfig};
+pub use error::CoreError;
+pub use simulator::{CollectiveRunReport, Simulator};
+
+// Re-export the full stack for one-stop access.
+pub use astra_collectives as collectives;
+pub use astra_compute as compute;
+pub use astra_des as des;
+pub use astra_network as network;
+pub use astra_system as system;
+pub use astra_topology as topology;
+pub use astra_workload as workload;

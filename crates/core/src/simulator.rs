@@ -1,0 +1,212 @@
+//! The end-to-end simulator facade.
+
+use crate::{CoreError, SimConfig};
+use astra_des::Time;
+use astra_network::NetStats;
+use astra_system::{
+    CollReport, CollectiveRequest, Notification, SystemSim, SystemStats,
+};
+use astra_workload::{TrainingReport, TrainingRunner, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Result of a bandwidth test: one collective, issue to last-NPU finish.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CollectiveRunReport {
+    /// Issue-to-completion wall time.
+    pub duration: Time,
+    /// The system layer's per-collective report (phase breakdowns).
+    pub coll: CollReport,
+    /// Aggregate system stats of the run.
+    pub system: SystemStats,
+    /// Network backend stats of the run.
+    pub network: NetStats,
+}
+
+/// The end-to-end simulator: a validated configuration plus experiment
+/// drivers. See the [crate docs](crate) for an example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Simulator {
+    cfg: SimConfig,
+}
+
+impl Simulator {
+    /// Validates `cfg` and builds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the topology configuration cannot be built.
+    pub fn new(cfg: SimConfig) -> Result<Self, CoreError> {
+        cfg.topology.build()?; // validate eagerly
+        Ok(Simulator { cfg })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Builds a fresh system-layer simulation (one experiment = one
+    /// instance; they are cheap).
+    pub fn system_sim(&self) -> Result<SystemSim, CoreError> {
+        let topo = self.cfg.topology.build()?;
+        match &self.cfg.overlay {
+            None => Ok(SystemSim::new(
+                topo,
+                self.cfg.system,
+                &self.cfg.network,
+                self.cfg.backend,
+            )),
+            Some(overlay) => {
+                let physical = overlay.physical.build()?;
+                let mapping = match &overlay.permutation {
+                    None => astra_topology::Mapping::identity(topo.num_npus()),
+                    Some(perm) => astra_topology::Mapping::from_permutation(perm.clone())?,
+                };
+                SystemSim::with_overlay(
+                    topo,
+                    &physical,
+                    mapping,
+                    self.cfg.system,
+                    &self.cfg.network,
+                    self.cfg.backend,
+                )
+                .map_err(CoreError::System)
+            }
+        }
+    }
+
+    /// Runs a bandwidth test: issues one collective and simulates until
+    /// every NPU completes it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the request is empty or no fabric dimension matches it.
+    pub fn run_collective(
+        &self,
+        req: CollectiveRequest,
+    ) -> Result<CollectiveRunReport, CoreError> {
+        let mut sim = self.system_sim()?;
+        let id = sim.issue_collective(req)?;
+        let n = sim.topology().num_npus();
+        let mut done = 0;
+        while done < n {
+            match sim.run_until_notification() {
+                Some(Notification::CollectiveDone { coll, .. }) if coll == id => done += 1,
+                Some(_) => {}
+                None => {
+                    return Err(CoreError::Workload(
+                        "collective never completed (simulation drained)".into(),
+                    ))
+                }
+            }
+        }
+        sim.run_until_idle();
+        let coll = sim
+            .report(id)
+            .expect("completed collective has a report")
+            .clone();
+        Ok(CollectiveRunReport {
+            duration: coll.duration(),
+            coll,
+            system: sim.stats().clone(),
+            network: sim.net_stats().clone(),
+        })
+    }
+
+    /// Runs `self.config().passes` training iterations of `workload`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed workloads or system-layer errors.
+    pub fn run_training(&self, workload: Workload) -> Result<TrainingReport, CoreError> {
+        workload.validate().map_err(CoreError::Workload)?;
+        let sim = self.system_sim()?;
+        let runner =
+            TrainingRunner::new(sim, workload, self.cfg.passes).map_err(CoreError::System)?;
+        runner.run().map_err(CoreError::System)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_workload::zoo;
+
+    #[test]
+    fn bandwidth_test_on_paper_1d_topologies() {
+        // Fig 9's two fabrics at one message size; torus should win the
+        // all-reduce at large sizes (more usable links: 8 vs 7). Fig 9 gives
+        // each NAM 8 links: 4 per ring neighbor (4 bidirectional rings) on
+        // the torus, one per global switch (7 switches) on the alltoall.
+        let msg = 1 << 22;
+        let mut torus_cfg = SimConfig::torus(1, 8, 1);
+        if let crate::TopologyConfig::Torus {
+            ref mut horizontal_rings,
+            ..
+        } = torus_cfg.topology
+        {
+            *horizontal_rings = 4;
+        }
+        let torus = Simulator::new(torus_cfg).unwrap();
+        let a2a = Simulator::new(SimConfig::alltoall(1, 8, 7)).unwrap();
+        let t_torus = torus
+            .run_collective(CollectiveRequest::all_reduce(msg))
+            .unwrap();
+        let t_a2a = a2a
+            .run_collective(CollectiveRequest::all_reduce(msg))
+            .unwrap();
+        assert!(
+            t_torus.duration < t_a2a.duration,
+            "torus {} vs alltoall {}",
+            t_torus.duration,
+            t_a2a.duration
+        );
+        // And the alltoall topology should win all-to-all (direct delivery
+        // vs multi-hop ring relays).
+        let torus_a2a = torus
+            .run_collective(CollectiveRequest::all_to_all(msg))
+            .unwrap();
+        let a2a_a2a = a2a
+            .run_collective(CollectiveRequest::all_to_all(msg))
+            .unwrap();
+        assert!(
+            a2a_a2a.duration < torus_a2a.duration,
+            "alltoall {} vs torus {}",
+            a2a_a2a.duration,
+            torus_a2a.duration
+        );
+    }
+
+    #[test]
+    fn training_run_produces_layer_reports() {
+        let sim = Simulator::new(SimConfig::torus(2, 2, 1)).unwrap();
+        let report = sim.run_training(zoo::tiny_mlp()).unwrap();
+        assert_eq!(report.layers.len(), 3);
+        assert_eq!(report.passes, 2);
+        assert!(report.total_time > Time::ZERO);
+    }
+
+    #[test]
+    fn invalid_workload_rejected() {
+        let sim = Simulator::new(SimConfig::torus(2, 2, 1)).unwrap();
+        let empty = Workload {
+            name: "none".into(),
+            parallelism: astra_workload::Parallelism::Data,
+            layers: vec![],
+        };
+        assert!(matches!(
+            sim.run_training(empty),
+            Err(CoreError::Workload(_))
+        ));
+    }
+
+    #[test]
+    fn reports_serialize_to_json() {
+        let sim = Simulator::new(SimConfig::torus(1, 4, 1)).unwrap();
+        let out = sim
+            .run_collective(CollectiveRequest::all_reduce(1 << 16))
+            .unwrap();
+        let json = serde_json::to_string(&out).unwrap();
+        assert!(json.contains("duration"));
+    }
+}

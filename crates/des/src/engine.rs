@@ -1,0 +1,184 @@
+//! A minimal run loop binding a model to an event queue.
+//!
+//! The larger simulation layers (astra-system) own their own loops because
+//! they interleave event handling with an external driver (the workload
+//! layer). `Engine` is the simple case: a closed model that only reacts to
+//! its own events — handy for standalone network experiments and tests.
+
+use crate::{EventQueue, Time};
+use std::fmt;
+
+/// A self-contained event-driven model.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::{Engine, EventQueue, Model, Time};
+///
+/// /// Counts down by re-scheduling itself.
+/// struct Countdown(u32);
+///
+/// impl Model for Countdown {
+///     type Event = ();
+///     fn handle(&mut self, _t: Time, _ev: (), q: &mut EventQueue<()>) {
+///         if self.0 > 0 {
+///             self.0 -= 1;
+///             q.schedule_in(Time::from_cycles(10), ());
+///         }
+///     }
+/// }
+///
+/// let mut engine = Engine::new(Countdown(3));
+/// engine.queue_mut().schedule_in(Time::from_cycles(10), ());
+/// let end = engine.run_to_completion();
+/// assert_eq!(end.cycles(), 40); // 4 events at t = 10, 20, 30, 40
+/// assert_eq!(engine.model().0, 0);
+/// ```
+pub trait Model {
+    /// The event payload this model reacts to.
+    type Event;
+
+    /// Handles one event at time `time`, possibly scheduling more.
+    fn handle(&mut self, time: Time, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+/// Drives a [`Model`] until its event queue drains.
+pub struct Engine<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+}
+
+impl<M: Model> Engine<M> {
+    /// Creates an engine around `model` with an empty queue at time zero.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Mutable access to the queue (e.g. to seed initial events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
+        &mut self.queue
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((t, ev)) => {
+                self.model.handle(t, ev, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until no events remain; returns the final simulation time.
+    pub fn run_to_completion(&mut self) -> Time {
+        while self.step() {}
+        self.queue.now()
+    }
+
+    /// Runs until the queue drains or time would exceed `deadline`
+    /// (events after the deadline stay queued). Returns the current time.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.queue.now()
+    }
+
+    /// Consumes the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+impl<M: Model + fmt::Debug> fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("model", &self.model)
+            .field("queue", &self.queue)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Collatz {
+        value: u64,
+        trace: Vec<u64>,
+    }
+
+    impl Model for Collatz {
+        type Event = ();
+        fn handle(&mut self, _t: Time, _ev: (), q: &mut EventQueue<()>) {
+            self.trace.push(self.value);
+            if self.value != 1 {
+                self.value = if self.value.is_multiple_of(2) {
+                    self.value / 2
+                } else {
+                    3 * self.value + 1
+                };
+                q.schedule_in(Time::from_cycles(1), ());
+            }
+        }
+    }
+
+    #[test]
+    fn runs_chain_to_completion() {
+        let mut e = Engine::new(Collatz {
+            value: 6,
+            trace: vec![],
+        });
+        e.queue_mut().schedule_in(Time::ZERO, ());
+        let end = e.run_to_completion();
+        assert_eq!(e.model().trace, vec![6, 3, 10, 5, 16, 8, 4, 2, 1]);
+        assert_eq!(end.cycles(), 8);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new(Collatz {
+            value: 6,
+            trace: vec![],
+        });
+        e.queue_mut().schedule_in(Time::ZERO, ());
+        e.run_until(Time::from_cycles(3));
+        assert_eq!(e.model().trace, vec![6, 3, 10, 5]);
+        // Remaining events still pending.
+        assert!(e.queue.peek_time().is_some());
+        e.run_to_completion();
+        assert_eq!(*e.model().trace.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn step_on_empty_returns_false() {
+        let mut e = Engine::new(Collatz {
+            value: 1,
+            trace: vec![],
+        });
+        assert!(!e.step());
+    }
+}

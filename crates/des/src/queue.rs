@@ -1,0 +1,220 @@
+//! The central event queue.
+
+use crate::Time;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::fmt;
+
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events are `(Time, E)` pairs ordered by time; same-time events pop in
+/// scheduling order (stable FIFO tie-break). The queue tracks the current
+/// simulation time [`EventQueue::now`], which advances monotonically as
+/// events are popped.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_in(Time::from_cycles(3), 1u32);
+/// q.schedule_in(Time::ZERO, 2u32); // fires "now"
+/// assert_eq!(q.pop(), Some((Time::ZERO, 2)));
+/// assert_eq!(q.pop(), Some((Time::from_cycles(3), 1)));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Time,
+    popped: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the most recently
+    /// popped event (zero before the first pop).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before [`EventQueue::now`]); a DES must
+    /// never schedule backwards in time.
+    pub fn schedule_at(&mut self, at: Time, payload: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, at={}",
+            self.now,
+            at
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            payload,
+        }));
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Time, payload: E) {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("simulation time overflow");
+        self.schedule_at(at, payload);
+    }
+
+    /// Removes and returns the earliest event, advancing [`EventQueue::now`]
+    /// to its timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now, "event heap yielded a past event");
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped since construction (a cheap progress /
+    /// throughput metric for the bench harness).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_cycles(30), 'c');
+        q.schedule_at(Time::from_cycles(10), 'a');
+        q.schedule_at(Time::from_cycles(20), 'b');
+        let out: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(out, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn same_time_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule_at(Time::from_cycles(5), i);
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule_in(Time::from_cycles(7), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_cycles(7));
+        // schedule_in is now relative to t=7.
+        q.schedule_in(Time::from_cycles(3), ());
+        assert_eq!(q.peek_time(), Some(Time::from_cycles(10)));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_cycles(10), ());
+        q.pop();
+        q.schedule_at(Time::from_cycles(5), ());
+    }
+
+    #[test]
+    fn len_and_counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule_in(Time::ZERO, 1);
+        q.schedule_in(Time::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.events_processed(), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_cycles(1), 1);
+        q.schedule_at(Time::from_cycles(5), 5);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule_at(Time::from_cycles(3), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 5);
+    }
+}

@@ -1,0 +1,263 @@
+//! Lightweight statistics accumulators used by every simulation layer.
+
+use crate::Time;
+use serde::{Deserialize, Serialize};
+
+/// Streaming summary statistics (count / sum / min / max / mean).
+///
+/// # Example
+///
+/// ```
+/// use astra_des::stats::RunningStats;
+/// let mut s = RunningStats::new();
+/// for v in [4.0, 6.0] { s.record(v); }
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.min(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Records a [`Time`] sample as cycles.
+    pub fn record_time(&mut self, t: Time) {
+        self.record(t.cycles() as f64);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+}
+
+/// A power-of-two bucketed histogram for latency distributions.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))`; bucket 0 also counts 0.
+///
+/// # Example
+///
+/// ```
+/// use astra_des::stats::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(1);
+/// h.record(5);
+/// h.record(5);
+/// assert_eq!(h.bucket_count(0), 1); // [1,2)
+/// assert_eq!(h.bucket_count(2), 2); // [4,8)
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Vec::new(),
+            total: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let idx = Self::bucket_index(v);
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Count in bucket `i` (0 if the bucket was never touched).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` for non-empty buckets.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+
+    /// Approximate quantile (returns the lower bound of the bucket holding
+    /// the q-quantile sample). `q` must be in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((self.total as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i == 0 { 0 } else { 1u64 << i });
+            }
+        }
+        Some(1u64 << (self.buckets.len() - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        s.record(10.0);
+        s.record(20.0);
+        s.record(-3.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.sum(), 27.0);
+        assert_eq!(s.mean(), 9.0);
+        assert_eq!(s.min(), Some(-3.0));
+        assert_eq!(s.max(), Some(20.0));
+    }
+
+    #[test]
+    fn running_stats_merge() {
+        let mut a = RunningStats::new();
+        a.record(1.0);
+        let mut b = RunningStats::new();
+        b.record(5.0);
+        b.record(-2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(-2.0));
+        assert_eq!(a.max(), Some(5.0));
+        // Merging an empty accumulator is a no-op.
+        a.merge(&RunningStats::new());
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn record_time_counts_cycles() {
+        let mut s = RunningStats::new();
+        s.record_time(Time::from_cycles(100));
+        assert_eq!(s.sum(), 100.0);
+    }
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.bucket_count(0), 2); // 0 and 1
+        assert_eq!(h.bucket_count(1), 2); // 2 and 3
+        assert_eq!(h.bucket_count(10), 1); // 1024
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_iter_skips_empty() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(64);
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v, vec![(0, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(4);
+        }
+        for _ in 0..10 {
+            h.record(4096);
+        }
+        assert_eq!(h.quantile(0.5), Some(4));
+        assert_eq!(h.quantile(0.99), Some(4096));
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+}

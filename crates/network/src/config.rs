@@ -1,0 +1,209 @@
+//! Network configuration (the Garnet-level rows of Table III / Table IV).
+
+use astra_des::{Clock, Time};
+use astra_topology::LinkClass;
+use serde::{Deserialize, Serialize};
+
+/// How packets traverse multi-hop routes (`packet-routing`, Table III
+/// row 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RoutingMode {
+    /// Software routing: intermediate NPUs relay the whole message
+    /// store-and-forward — each hop serializes fully before the next hop
+    /// starts. The paper's evaluation setting (§V: "assume software-based
+    /// routing").
+    #[default]
+    Software,
+    /// Hardware routing: packets cut through intermediate routers without
+    /// NPU involvement — downstream links begin serializing one propagation
+    /// latency after the upstream link starts (virtual cut-through at
+    /// message granularity).
+    Hardware,
+}
+
+/// Parameters of one link technology class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkParams {
+    /// Raw bandwidth in GB/s (Table IV: 200 intra-package, 25 inter-package).
+    pub gbps: f64,
+    /// Propagation latency in cycles (Table IV: 90 intra, 200 inter).
+    pub latency: Time,
+    /// Data-flit fraction: the ratio of data flits to data+header flits
+    /// (`local-link-efficiency` / `package-link-efficiency`, Table III
+    /// rows 17–18; Table IV uses 94%).
+    pub efficiency: f64,
+    /// Packet size in bytes (`local-packet-size` / `package-packet-size`;
+    /// Table IV: 512 B intra, 256 B inter). Wire occupancy is rounded up to
+    /// whole packets.
+    pub packet_bytes: u64,
+}
+
+impl LinkParams {
+    /// Validates the parameter combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bandwidth/efficiency/packet size are out of range; these
+    /// are programming errors in experiment setup, not runtime conditions.
+    pub fn validate(&self) {
+        assert!(
+            self.gbps.is_finite() && self.gbps > 0.0,
+            "link bandwidth must be positive"
+        );
+        assert!(
+            self.efficiency > 0.0 && self.efficiency <= 1.0,
+            "link efficiency must be in (0, 1]"
+        );
+        assert!(self.packet_bytes > 0, "packet size must be positive");
+    }
+
+    /// Bytes the message occupies on the wire: payload divided by the
+    /// data-flit efficiency, rounded up to whole packets.
+    pub fn wire_bytes(&self, payload: u64) -> u64 {
+        if payload == 0 {
+            return 0;
+        }
+        let raw = (payload as f64 / self.efficiency).ceil() as u64;
+        raw.div_ceil(self.packet_bytes) * self.packet_bytes
+    }
+}
+
+/// Full network configuration shared by both backends.
+///
+/// Defaults reproduce Table IV of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Clock used to convert GB/s into bytes/cycle.
+    pub clock: Clock,
+    /// Intra-package link parameters.
+    pub local: LinkParams,
+    /// Inter-package link parameters.
+    pub package: LinkParams,
+    /// Scale-out (inter-pod, Ethernet-class) link parameters — §VII future
+    /// work. Defaults model 100 GbE: 12.5 GB/s, ~1.5 µs latency with
+    /// transport-stack overhead folded in, 1500 B MTU frames.
+    pub scale_out: LinkParams,
+    /// Flit payload width in bytes (`flit-width`, Table IV: 1024 bits).
+    /// Garnet backend only.
+    pub flit_bytes: u64,
+    /// Virtual channels per virtual network (`vcs_per_vnet`, Table IV: 50).
+    /// Garnet backend only.
+    pub vcs_per_vnet: usize,
+    /// Flit buffers per VC (`buffers-per-vc`, Table IV: 5000). Garnet
+    /// backend only.
+    pub buffers_per_vc: usize,
+    /// Per-hop router pipeline latency (`router-latency`, Table IV: 1
+    /// cycle). Garnet backend only.
+    pub router_latency: Time,
+    /// Multi-hop traversal mode (`packet-routing`, Table III row 14).
+    /// Analytical backend only — the garnet backend is inherently
+    /// hardware-routed.
+    pub routing: RoutingMode,
+}
+
+impl NetworkConfig {
+    /// Parameters for a link class.
+    pub fn link(&self, class: LinkClass) -> &LinkParams {
+        match class {
+            LinkClass::Local => &self.local,
+            LinkClass::Package => &self.package,
+            LinkClass::ScaleOut => &self.scale_out,
+        }
+    }
+
+    /// Validates all parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range values (see [`LinkParams::validate`]).
+    pub fn validate(&self) {
+        self.local.validate();
+        self.package.validate();
+        self.scale_out.validate();
+        assert!(self.flit_bytes > 0, "flit width must be positive");
+        assert!(self.vcs_per_vnet > 0, "need at least one VC");
+        assert!(self.buffers_per_vc > 0, "need at least one buffer per VC");
+    }
+}
+
+impl Default for NetworkConfig {
+    /// Table IV parameters at a 1 GHz clock.
+    fn default() -> Self {
+        NetworkConfig {
+            clock: Clock::GHZ1,
+            local: LinkParams {
+                gbps: 200.0,
+                latency: Time::from_cycles(90),
+                efficiency: 0.94,
+                packet_bytes: 512,
+            },
+            package: LinkParams {
+                gbps: 25.0,
+                latency: Time::from_cycles(200),
+                efficiency: 0.94,
+                packet_bytes: 256,
+            },
+            scale_out: LinkParams {
+                gbps: 12.5,
+                latency: Time::from_cycles(1_500),
+                efficiency: 0.90,
+                packet_bytes: 1_500,
+            },
+            flit_bytes: 1024 / 8,
+            vcs_per_vnet: 50,
+            buffers_per_vc: 5000,
+            router_latency: Time::from_cycles(1),
+            routing: RoutingMode::Software,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table_iv() {
+        let c = NetworkConfig::default();
+        assert_eq!(c.local.gbps, 200.0);
+        assert_eq!(c.package.gbps, 25.0);
+        assert_eq!(c.local.latency, Time::from_cycles(90));
+        assert_eq!(c.package.latency, Time::from_cycles(200));
+        assert_eq!(c.local.packet_bytes, 512);
+        assert_eq!(c.package.packet_bytes, 256);
+        assert_eq!(c.flit_bytes, 128);
+        assert_eq!(c.vcs_per_vnet, 50);
+        assert_eq!(c.buffers_per_vc, 5000);
+        c.validate();
+    }
+
+    #[test]
+    fn wire_bytes_rounds_to_packets() {
+        let p = LinkParams {
+            gbps: 25.0,
+            latency: Time::from_cycles(1),
+            efficiency: 0.5,
+            packet_bytes: 100,
+        };
+        assert_eq!(p.wire_bytes(0), 0);
+        // 50 payload bytes / 0.5 = 100 wire bytes = exactly 1 packet.
+        assert_eq!(p.wire_bytes(50), 100);
+        // 51 payload bytes / 0.5 = 102 -> 2 packets.
+        assert_eq!(p.wire_bytes(51), 200);
+    }
+
+    #[test]
+    fn link_class_selection() {
+        let c = NetworkConfig::default();
+        assert_eq!(c.link(LinkClass::Local).gbps, 200.0);
+        assert_eq!(c.link(LinkClass::Package).gbps, 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency")]
+    fn invalid_efficiency_panics() {
+        let mut c = NetworkConfig::default();
+        c.local.efficiency = 1.5;
+        c.validate();
+    }
+}

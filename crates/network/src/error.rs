@@ -1,0 +1,90 @@
+//! Network error type.
+
+use astra_topology::{Channel, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when injecting traffic into a backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A route hop references a link the network was not built with.
+    UnknownLink {
+        /// Transmitting endpoint of the missing link.
+        from: NodeId,
+        /// Receiving endpoint of the missing link.
+        to: NodeId,
+        /// Channel of the missing link.
+        channel: Channel,
+    },
+    /// The route does not start at the message source or end at its
+    /// destination.
+    RouteMismatch {
+        /// The message's source.
+        msg_src: NodeId,
+        /// The message's destination.
+        msg_dst: NodeId,
+        /// The route's first endpoint.
+        route_src: NodeId,
+        /// The route's last endpoint.
+        route_dst: NodeId,
+    },
+    /// A message id was reused while still in flight.
+    DuplicateMessage {
+        /// The offending id.
+        id: u64,
+    },
+    /// A zero-byte message was injected.
+    EmptyMessage,
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnknownLink { from, to, channel } => {
+                write!(f, "no link {from} -> {to} on channel {channel}")
+            }
+            NetworkError::RouteMismatch {
+                msg_src,
+                msg_dst,
+                route_src,
+                route_dst,
+            } => write!(
+                f,
+                "route {route_src} -> {route_dst} does not match message {msg_src} -> {msg_dst}"
+            ),
+            NetworkError::DuplicateMessage { id } => {
+                write!(f, "message id {id} is already in flight")
+            }
+            NetworkError::EmptyMessage => write!(f, "cannot send a zero-byte message"),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_topology::Dim;
+
+    #[test]
+    fn display_mentions_endpoints() {
+        let e = NetworkError::UnknownLink {
+            from: NodeId(1),
+            to: NodeId(2),
+            channel: Channel {
+                dim: Dim::Local,
+                ring: 0,
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("n1") && s.contains("n2"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<NetworkError>();
+    }
+}

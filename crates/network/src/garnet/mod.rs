@@ -1,0 +1,563 @@
+//! A Garnet-like flit-level network backend.
+//!
+//! The paper runs its system layer on Garnet 2.0 in standalone mode. This
+//! module reproduces the mechanisms Garnet contributes to the paper's
+//! results, at flit granularity:
+//!
+//! * messages decompose into **packets** (per-class packet size, Table IV)
+//!   and packets into **flits** (flit width) plus one header flit — the
+//!   data-flit/header-flit ratio is the physical origin of the "link
+//!   efficiency" parameter the analytical backend folds in;
+//! * each directed link serializes one flit at a time
+//!   (`flit_bytes / link bytes-per-cycle` cycles per flit) and arbitrates
+//!   **round-robin across virtual channels**;
+//! * downstream buffers are finite (`buffers_per_vc`); a flit may only be
+//!   put on the wire when its VC holds a **credit**, and the credit returns
+//!   when the flit vacates the downstream buffer — i.e. real wormhole
+//!   back-pressure;
+//! * intermediate routers forward flits after a configurable pipeline
+//!   latency (`router_latency`), modeling the paper's *hardware routing*
+//!   option (packets cross multi-hop routes without NPU involvement).
+//!
+//! The model intentionally stops short of gem5 details that do not influence
+//! the paper's experiments (VC reallocation per hop, switch allocation
+//! stages): a packet keeps one VC index end-to-end, and the router pipeline
+//! is a fixed delay. Injection queues at the source NI are unbounded, as in
+//! Garnet standalone mode.
+//!
+//! **Deadlock note**: like real wormhole networks, cyclic routes plus
+//! exhausted buffers could deadlock; gem5's Garnet breaks such cycles with
+//! escape VCs / datelines, which this model does not implement. Table IV's
+//! buffer depth (5000 flits per VC ≈ 640 KB) makes the cycle unreachable
+//! for the message sizes the evaluation simulates; reduce `buffers_per_vc`
+//! on multi-hop ring traffic with care.
+
+mod flit;
+
+use crate::{
+    Arrival, Backend, Message, NetEvent, NetScheduler, NetStats, NetworkConfig, NetworkError,
+};
+use astra_des::Time;
+use astra_topology::{Channel, LinkClass, LogicalTopology, NodeId, Route};
+use flit::{FlitsOf, PacketState, QueuedFlit};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+type LinkKey = (usize, usize, usize, usize);
+
+fn key_of(from: NodeId, to: NodeId, ch: Channel) -> LinkKey {
+    (from.index(), to.index(), ch.dim.index(), ch.ring)
+}
+
+#[derive(Debug)]
+struct VcState {
+    queue: VecDeque<QueuedFlit>,
+    credits: usize,
+}
+
+#[derive(Debug)]
+struct GLink {
+    class: LinkClass,
+    busy: bool,
+    rr_cursor: usize,
+    vcs: Vec<VcState>,
+}
+
+#[derive(Debug)]
+struct GMsgState {
+    msg: Message,
+    injected: Time,
+    first_tx_start: Option<Time>,
+    flits_remaining: u64,
+}
+
+/// The flit-level backend; the module documentation above describes the
+/// model.
+#[derive(Debug)]
+pub struct GarnetNet {
+    config: NetworkConfig,
+    links: Vec<GLink>,
+    index: BTreeMap<LinkKey, usize>,
+    packets: HashMap<u64, PacketState>,
+    messages: HashMap<u64, GMsgState>,
+    next_packet_id: u64,
+    stats: NetStats,
+}
+
+impl GarnetNet {
+    /// Builds the backend for a topology's physical links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(topo: &LogicalTopology, config: &NetworkConfig) -> Self {
+        config.validate();
+        let mut links = Vec::new();
+        let mut index = BTreeMap::new();
+        for spec in topo.links() {
+            let k = key_of(spec.from, spec.to, spec.channel);
+            index.entry(k).or_insert_with(|| {
+                links.push(GLink {
+                    class: spec.class,
+                    busy: false,
+                    rr_cursor: 0,
+                    vcs: (0..config.vcs_per_vnet)
+                        .map(|_| VcState {
+                            queue: VecDeque::new(),
+                            credits: config.buffers_per_vc,
+                        })
+                        .collect(),
+                });
+                links.len() - 1
+            });
+        }
+        let stats = NetStats::with_links(links.len());
+        GarnetNet {
+            config: *config,
+            links,
+            index,
+            packets: HashMap::new(),
+            messages: HashMap::new(),
+            next_packet_id: 0,
+            stats,
+        }
+    }
+
+    /// Number of distinct physical links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    fn resolve(&self, route: &Route) -> Result<Vec<usize>, NetworkError> {
+        route
+            .hops()
+            .iter()
+            .map(|h| {
+                self.index
+                    .get(&key_of(h.from, h.to, h.channel))
+                    .copied()
+                    .ok_or(NetworkError::UnknownLink {
+                        from: h.from,
+                        to: h.to,
+                        channel: h.channel,
+                    })
+            })
+            .collect()
+    }
+
+    fn flit_ser_time(&self, class: LinkClass) -> Time {
+        let bpc = self.config.clock.bytes_per_cycle(self.config.link(class).gbps);
+        Time::from_cycles(((self.config.flit_bytes as f64) / bpc).ceil().max(1.0) as u64)
+    }
+
+    /// Attempts to put the next flit on the wire of `link_idx`.
+    fn try_transmit(&mut self, q: &mut dyn NetScheduler, link_idx: usize) {
+        if self.links[link_idx].busy {
+            return;
+        }
+        let nvcs = self.links[link_idx].vcs.len();
+        let start = self.links[link_idx].rr_cursor;
+        let mut chosen = None;
+        for off in 0..nvcs {
+            let vc = (start + off) % nvcs;
+            let st = &self.links[link_idx].vcs[vc];
+            if !st.queue.is_empty() && st.credits > 0 {
+                chosen = Some(vc);
+                break;
+            }
+        }
+        let Some(vc) = chosen else { return };
+        let link = &mut self.links[link_idx];
+        link.rr_cursor = (vc + 1) % nvcs;
+        let flit = link.vcs[vc].queue.pop_front().expect("non-empty checked");
+        link.vcs[vc].credits -= 1;
+        link.busy = true;
+        let class = link.class;
+        let ser = self.flit_ser_time(class);
+        let latency = self.config.link(class).latency;
+        self.stats
+            .record_hop(link_idx, class, self.config.flit_bytes, ser);
+
+        // Leaving the upstream buffer returns a credit upstream after one
+        // cycle of credit-wire delay.
+        if let Some((up_link, up_vc)) = flit.upstream {
+            q.schedule_in(
+                Time::from_cycles(1),
+                NetEvent::Credit {
+                    link: up_link,
+                    vc: up_vc,
+                },
+            );
+        }
+
+        // First flit of the message to hit the wire stamps first_tx_start.
+        let pkt = self.packets.get(&flit.packet).expect("packet exists");
+        let msg = self
+            .messages
+            .get_mut(&pkt.msg)
+            .expect("message exists for packet");
+        msg.first_tx_start.get_or_insert(q.now());
+
+        q.schedule_in(ser, NetEvent::LinkReady { link: link_idx });
+        q.schedule_at(
+            q.now() + ser + latency,
+            NetEvent::FlitArrive {
+                link: link_idx,
+                flit_seq: flit.seq,
+                packet: flit.packet,
+            },
+        );
+    }
+
+    fn on_flit_arrive(
+        &mut self,
+        q: &mut dyn NetScheduler,
+        link_idx: usize,
+        flit_seq: u64,
+        packet_id: u64,
+        arrivals: &mut Vec<Arrival>,
+    ) {
+        let pkt = self.packets.get(&packet_id).expect("packet exists");
+        let hop = pkt
+            .path
+            .iter()
+            .position(|&l| l == link_idx)
+            .expect("arrived on a link of its own path");
+        let last_hop = hop + 1 == pkt.path.len();
+        let vc = pkt.vc;
+        if last_hop {
+            // Consume at destination: buffer vacates after the ejection takes
+            // one cycle; credit returns upstream.
+            q.schedule_in(Time::from_cycles(1), NetEvent::Credit { link: link_idx, vc });
+            let msg_id = pkt.msg;
+            let msg = self.messages.get_mut(&msg_id).expect("message exists");
+            msg.flits_remaining -= 1;
+            if msg.flits_remaining == 0 {
+                let done = self.messages.remove(&msg_id).expect("just updated");
+                let delivered = q.now();
+                let first_tx = done.first_tx_start.unwrap_or(done.injected);
+                self.stats.record_delivery(
+                    done.msg.bytes,
+                    delivered - done.injected,
+                    first_tx - done.injected,
+                );
+                arrivals.push(Arrival {
+                    message: done.msg,
+                    injected: done.injected,
+                    first_tx_start: first_tx,
+                    delivered,
+                });
+            }
+            if self
+                .packets
+                .get_mut(&packet_id)
+                .map(|p| {
+                    p.flits_remaining -= 1;
+                    p.flits_remaining == 0
+                })
+                .unwrap_or(false)
+            {
+                self.packets.remove(&packet_id);
+            }
+        } else {
+            // Forward through the router pipeline onto the next link's queue.
+            let next_link = pkt.path[hop + 1];
+            let delay = self.config.router_latency;
+            // We model the router traversal as a fixed delay before the flit
+            // becomes eligible at the next transmitter; the flit keeps
+            // occupying this link's downstream buffer until it is serialized
+            // onto the next link (upstream back-pointer carries the credit).
+            let flit = QueuedFlit {
+                packet: packet_id,
+                seq: flit_seq,
+                upstream: Some((link_idx, vc)),
+            };
+            // Router pipeline: enqueue after `delay`. We reuse FlitArrive
+            // scheduling by enqueueing directly here if delay is zero.
+            if delay == Time::ZERO {
+                self.links[next_link].vcs[vc].queue.push_back(flit);
+                self.try_transmit(q, next_link);
+            } else {
+                // Encode the "enters next queue" moment as a LinkReady probe:
+                // enqueue now, but make it eligible only after the pipeline
+                // delay by scheduling the transmit attempt later. Since the
+                // queue is FIFO and the link may be busy anyway, adding the
+                // delay to eligibility via a delayed enqueue keeps ordering.
+                self.links[next_link].vcs[vc].queue.push_back(flit);
+                q.schedule_in(delay, NetEvent::LinkReady { link: next_link });
+            }
+        }
+    }
+}
+
+impl Backend for GarnetNet {
+    fn send(
+        &mut self,
+        queue: &mut dyn NetScheduler,
+        msg: Message,
+        route: Route,
+    ) -> Result<(), NetworkError> {
+        if msg.bytes == 0 {
+            return Err(NetworkError::EmptyMessage);
+        }
+        if route.src() != msg.src || route.dst() != msg.dst {
+            return Err(NetworkError::RouteMismatch {
+                msg_src: msg.src,
+                msg_dst: msg.dst,
+                route_src: route.src(),
+                route_dst: route.dst(),
+            });
+        }
+        let path = self.resolve(&route)?;
+        if self.messages.contains_key(&msg.id.0) {
+            return Err(NetworkError::DuplicateMessage { id: msg.id.0 });
+        }
+
+        // Packetize by the first hop's link class (messages are packetized
+        // once, at injection).
+        let first_class = self.links[path[0]].class;
+        let packet_bytes = self.config.link(first_class).packet_bytes;
+        let flits = FlitsOf::new(msg.bytes, packet_bytes, self.config.flit_bytes);
+        self.messages.insert(
+            msg.id.0,
+            GMsgState {
+                msg,
+                injected: queue.now(),
+                first_tx_start: None,
+                flits_remaining: flits.total_flits(),
+            },
+        );
+
+        let nvcs = self.config.vcs_per_vnet;
+        let first_link = path[0];
+        for pkt_flits in flits.packets() {
+            let packet_id = self.next_packet_id;
+            self.next_packet_id += 1;
+            let vc = (packet_id as usize) % nvcs;
+            self.packets.insert(
+                packet_id,
+                PacketState {
+                    msg: msg.id.0,
+                    path: path.clone(),
+                    vc,
+                    flits_remaining: pkt_flits,
+                },
+            );
+            for seq in 0..pkt_flits {
+                self.links[first_link].vcs[vc].queue.push_back(QueuedFlit {
+                    packet: packet_id,
+                    seq,
+                    upstream: None,
+                });
+            }
+        }
+        self.try_transmit(queue, first_link);
+        Ok(())
+    }
+
+    fn handle(
+        &mut self,
+        queue: &mut dyn NetScheduler,
+        event: NetEvent,
+        arrivals: &mut Vec<Arrival>,
+    ) {
+        match event {
+            NetEvent::LinkReady { link } => {
+                self.links[link].busy = false;
+                self.try_transmit(queue, link);
+            }
+            NetEvent::FlitArrive {
+                link,
+                flit_seq,
+                packet,
+            } => {
+                self.on_flit_arrive(queue, link, flit_seq, packet, arrivals);
+            }
+            NetEvent::Credit { link, vc } => {
+                self.links[link].vcs[vc].credits += 1;
+                self.try_transmit(queue, link);
+            }
+            NetEvent::HopArrive { .. } => {
+                unreachable!("garnet backend received an analytical event")
+            }
+        }
+    }
+
+    fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn in_flight(&self) -> usize {
+        self.messages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_des::{Clock, EventQueue};
+    use astra_topology::{Dim, Torus3d};
+
+    fn ring_cfg() -> (LogicalTopology, NetworkConfig) {
+        let topo = LogicalTopology::torus(Torus3d::new(1, 4, 1, 1, 1, 1).unwrap());
+        let cfg = NetworkConfig {
+            clock: Clock::GHZ1,
+            package: crate::LinkParams {
+                gbps: 32.0, // 32 B/cyc -> 4 cycles per 128 B flit
+                latency: Time::from_cycles(10),
+                efficiency: 0.94,
+                packet_bytes: 256,
+            },
+            vcs_per_vnet: 2,
+            buffers_per_vc: 4,
+            router_latency: Time::from_cycles(1),
+            ..NetworkConfig::default()
+        };
+        (topo, cfg)
+    }
+
+    fn drain(net: &mut GarnetNet, q: &mut EventQueue<NetEvent>) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        let mut guard = 0u64;
+        while let Some((_, ev)) = q.pop() {
+            net.handle(q, ev, &mut out);
+            guard += 1;
+            assert!(guard < 10_000_000, "garnet drain did not converge");
+        }
+        out
+    }
+
+    #[test]
+    fn single_flit_message_latency() {
+        let (topo, cfg) = ring_cfg();
+        let mut net = GarnetNet::new(&topo, &cfg);
+        let mut q = EventQueue::new();
+        let route = topo.ring_route(Dim::Horizontal, 0, NodeId(0), 1).unwrap();
+        // 1 byte -> 1 packet -> 1 data flit + 1 header flit.
+        net.send(&mut q, Message::new(0, NodeId(0), NodeId(1), 1, 0), route)
+            .unwrap();
+        let arr = drain(&mut net, &mut q);
+        assert_eq!(arr.len(), 1);
+        // 2 flits x 4 cyc serialization, pipelined with 10 cyc latency:
+        // flit0 on wire [0,4), arrives 14; flit1 [4,8), arrives 18.
+        assert_eq!(arr[0].delivered, Time::from_cycles(18));
+    }
+
+    #[test]
+    fn multi_hop_pipelines_flits() {
+        let (topo, cfg) = ring_cfg();
+        let mut net = GarnetNet::new(&topo, &cfg);
+        let mut q = EventQueue::new();
+        let route = topo.ring_route(Dim::Horizontal, 0, NodeId(0), 2).unwrap();
+        net.send(&mut q, Message::new(0, NodeId(0), NodeId(2), 256, 0), route)
+            .unwrap();
+        let arr = drain(&mut net, &mut q);
+        assert_eq!(arr.len(), 1);
+        // Wormhole pipelining: the total must be far less than 2x the
+        // store-and-forward time of (3 flits * 4 cyc + 10) per hop.
+        let t = arr[0].delivered.cycles();
+        assert!(t < 2 * (3 * 4 + 10) + 10, "no pipelining? t = {t}");
+        assert!(t > 14, "faster than physics allows: {t}");
+    }
+
+    #[test]
+    fn finite_buffers_backpressure() {
+        let (topo, mut cfg) = ring_cfg();
+        cfg.buffers_per_vc = 1;
+        cfg.vcs_per_vnet = 1;
+        let mut net = GarnetNet::new(&topo, &cfg);
+        let mut q = EventQueue::new();
+        let route = topo.ring_route(Dim::Horizontal, 0, NodeId(0), 2).unwrap();
+        net.send(
+            &mut q,
+            Message::new(0, NodeId(0), NodeId(2), 1024, 0),
+            route,
+        )
+        .unwrap();
+        let arr = drain(&mut net, &mut q);
+        assert_eq!(arr.len(), 1);
+        // With 1 buffer per VC, every flit must wait for a credit round trip;
+        // delivery is much slower than the unconstrained case.
+        let (topo2, mut cfg2) = ring_cfg();
+        cfg2.vcs_per_vnet = 1;
+        cfg2.buffers_per_vc = 1000;
+        let mut net2 = GarnetNet::new(&topo2, &cfg2);
+        let mut q2 = EventQueue::new();
+        let route2 = topo2.ring_route(Dim::Horizontal, 0, NodeId(0), 2).unwrap();
+        net2.send(
+            &mut q2,
+            Message::new(0, NodeId(0), NodeId(2), 1024, 0),
+            route2,
+        )
+        .unwrap();
+        let arr2 = drain(&mut net2, &mut q2);
+        assert!(
+            arr[0].delivered > arr2[0].delivered,
+            "credit starvation should slow delivery: {} vs {}",
+            arr[0].delivered,
+            arr2[0].delivered
+        );
+    }
+
+    #[test]
+    fn vcs_interleave_two_messages() {
+        let (topo, cfg) = ring_cfg();
+        let mut net = GarnetNet::new(&topo, &cfg);
+        let mut q = EventQueue::new();
+        let route = topo.ring_route(Dim::Horizontal, 0, NodeId(0), 1).unwrap();
+        net.send(
+            &mut q,
+            Message::new(0, NodeId(0), NodeId(1), 512, 0),
+            route.clone(),
+        )
+        .unwrap();
+        net.send(&mut q, Message::new(1, NodeId(0), NodeId(1), 512, 0), route)
+            .unwrap();
+        let arr = drain(&mut net, &mut q);
+        assert_eq!(arr.len(), 2);
+        // Both used the same link; total wire time is the sum of all flits.
+        assert_eq!(net.stats().delivered, 2);
+    }
+
+    #[test]
+    fn conservation_of_flits() {
+        let (topo, cfg) = ring_cfg();
+        let mut net = GarnetNet::new(&topo, &cfg);
+        let mut q = EventQueue::new();
+        for i in 0..4u64 {
+            let src = NodeId((i % 4) as usize);
+            let route = topo.ring_route(Dim::Horizontal, 0, src, 1).unwrap();
+            let dst = route.dst();
+            net.send(&mut q, Message::new(i, src, dst, 300, 0), route)
+                .unwrap();
+        }
+        let arr = drain(&mut net, &mut q);
+        assert_eq!(arr.len(), 4);
+        assert_eq!(net.in_flight(), 0);
+        assert!(net.packets.is_empty(), "leaked packet state");
+    }
+
+    #[test]
+    fn rejects_duplicate_and_empty() {
+        let (topo, cfg) = ring_cfg();
+        let mut net = GarnetNet::new(&topo, &cfg);
+        let mut q = EventQueue::new();
+        let route = topo.ring_route(Dim::Horizontal, 0, NodeId(0), 1).unwrap();
+        assert!(net
+            .send(
+                &mut q,
+                Message::new(0, NodeId(0), NodeId(1), 0, 0),
+                route.clone()
+            )
+            .is_err());
+        net.send(
+            &mut q,
+            Message::new(1, NodeId(0), NodeId(1), 8, 0),
+            route.clone(),
+        )
+        .unwrap();
+        assert!(matches!(
+            net.send(&mut q, Message::new(1, NodeId(0), NodeId(1), 8, 0), route),
+            Err(NetworkError::DuplicateMessage { .. })
+        ));
+    }
+}

@@ -1,0 +1,72 @@
+//! System-layer error type.
+
+use astra_collectives::CollectiveError;
+use astra_network::NetworkError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from issuing work into the system layer.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// Plan synthesis failed.
+    Collective(CollectiveError),
+    /// The network rejected an injection (indicates a routing bug).
+    Network(NetworkError),
+    /// A zero-byte collective was requested.
+    EmptySet,
+    /// A logical→physical overlay was inconsistent.
+    InvalidOverlay {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Collective(e) => write!(f, "collective planning failed: {e}"),
+            SystemError::Network(e) => write!(f, "network rejected message: {e}"),
+            SystemError::EmptySet => write!(f, "collective set size must be positive"),
+            SystemError::InvalidOverlay { what } => write!(f, "invalid overlay: {what}"),
+        }
+    }
+}
+
+impl Error for SystemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SystemError::Collective(e) => Some(e),
+            SystemError::Network(e) => Some(e),
+            SystemError::EmptySet | SystemError::InvalidOverlay { .. } => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<CollectiveError> for SystemError {
+    fn from(e: CollectiveError) -> Self {
+        SystemError::Collective(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<NetworkError> for SystemError {
+    fn from(e: NetworkError) -> Self {
+        SystemError::Network(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = SystemError::from(CollectiveError::NoActiveDims);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("planning"));
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SystemError>();
+    }
+}

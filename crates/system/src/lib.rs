@@ -1,0 +1,74 @@
+//! # astra-system
+//!
+//! The system layer of the ASTRA-sim reproduction (§IV-B of the paper).
+//!
+//! The system layer sits between the workload layer (which decides *what*
+//! to communicate and when) and a network backend (which moves bytes). Its
+//! responsibilities, mirroring Fig 7:
+//!
+//! * **Chunking** — each issued collective ("set") is split into
+//!   `preferred-set-splits` chunks that are scheduled and pipelined
+//!   independently (Table II);
+//! * **Ready queue** — chunks wait here before dispatch; LIFO or FIFO
+//!   ordering across collectives implements the scheduling-policy knob
+//!   (Table III row 7). LIFO prioritizes the most recently issued
+//!   collective, which §III-E argues is what the first layers of
+//!   back-propagation need;
+//! * **Dispatcher** — issues `P` chunks whenever fewer than `T` chunks are
+//!   still in the first phase of their collective algorithm (§IV-B; §V-F
+//!   uses T=8, P=16);
+//! * **Logical scheduling queues (LSQs)** — one per (phase, channel):
+//!   chunks spread round-robin over a dimension's rings / global switches,
+//!   so concurrent chunks exploit all links of a dimension;
+//! * **Collective execution** — drives [`astra_collectives::PhaseMachine`]s,
+//!   resolves their relative send targets into source routes, injects
+//!   messages, charges endpoint delay and local-reduction cost on receipt,
+//!   and reports per-NPU completion to the workload layer;
+//! * **Statistics** — per-phase queue delays (the paper's Queue P0–P4) and
+//!   in-network delays (Network P1–P4) that Figs 12b and 16 plot.
+//!
+//! The simulation object is [`SystemSim`]; the workload layer drives it via
+//! [`SystemSim::issue_collective`], [`SystemSim::schedule_callback`] and
+//! [`SystemSim::run_until_notification`].
+//!
+//! ## Example
+//!
+//! ```
+//! use astra_collectives::CollectiveOp;
+//! use astra_network::NetworkConfig;
+//! use astra_system::{BackendKind, CollectiveRequest, Notification, SystemConfig, SystemSim};
+//! use astra_topology::{LogicalTopology, Torus3d};
+//!
+//! let topo = LogicalTopology::torus(Torus3d::new(2, 2, 2, 1, 1, 1)?);
+//! let mut sim = SystemSim::new(
+//!     topo,
+//!     SystemConfig::default(),
+//!     &NetworkConfig::default(),
+//!     BackendKind::Analytical,
+//! );
+//! let coll = sim.issue_collective(CollectiveRequest::all_reduce(1 << 20))?;
+//! let mut done = 0;
+//! while let Some(n) = sim.run_until_notification() {
+//!     if let Notification::CollectiveDone { coll: c, .. } = n {
+//!         assert_eq!(c, coll);
+//!         done += 1;
+//!     }
+//! }
+//! assert_eq!(done, 8); // one completion per NPU
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+mod error;
+mod sim;
+mod stats;
+mod tag;
+
+pub use config::{BackendKind, InjectionPolicy, SchedulingPolicy, SystemConfig};
+pub use error::SystemError;
+pub use sim::{CallbackId, CollId, CollectiveRequest, Notification, SystemSim};
+pub use stats::{CollReport, PhaseSpan, SystemStats};
+pub use tag::Tag;

@@ -1,0 +1,1305 @@
+//! The system-layer simulation: master event loop, per-NPU schedulers,
+//! collective execution.
+
+use crate::{
+    BackendKind, CollReport, InjectionPolicy, PhaseSpan, SchedulingPolicy, SystemConfig,
+    SystemError, SystemStats, Tag,
+};
+use astra_collectives::{
+    plan_with_intra, Algorithm, CollectiveOp, CollectivePlan, PhaseMachine, SendCmd, Target,
+};
+use astra_des::{EventQueue, Time};
+use astra_network::{
+    AnalyticalNet, Arrival, Backend, GarnetNet, Message, NetEvent, NetScheduler, NetworkConfig,
+};
+use astra_topology::{Dim, LogicalTopology, Mapping, NodeId, PathFinder, Route};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Handle of an issued collective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CollId(pub u64);
+
+impl fmt::Display for CollId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "coll{}", self.0)
+    }
+}
+
+/// Handle of a scheduled workload callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CallbackId(pub u64);
+
+/// A collective the workload layer wants executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectiveRequest {
+    /// Which collective.
+    pub op: CollectiveOp,
+    /// Set size per NPU, in bytes.
+    pub bytes: u64,
+    /// Restrict to these fabric dimensions (hybrid parallelism); `None`
+    /// means all.
+    pub dims: Option<Vec<Dim>>,
+    /// Override the planner variant for this collective (defaults to the
+    /// system-wide [`SystemConfig::algorithm`]).
+    pub algorithm: Option<Algorithm>,
+    /// Override the local-reduction cost per KiB for this collective (the
+    /// per-layer "local update time" of the workload file, Fig 8).
+    pub local_update_per_kb: Option<Time>,
+}
+
+impl CollectiveRequest {
+    /// An all-reduce over all dimensions with defaults — the common case.
+    pub fn all_reduce(bytes: u64) -> Self {
+        CollectiveRequest {
+            op: CollectiveOp::AllReduce,
+            bytes,
+            dims: None,
+            algorithm: None,
+            local_update_per_kb: None,
+        }
+    }
+
+    /// An all-to-all over all dimensions with defaults.
+    pub fn all_to_all(bytes: u64) -> Self {
+        CollectiveRequest {
+            op: CollectiveOp::AllToAll,
+            bytes,
+            dims: None,
+            algorithm: None,
+            local_update_per_kb: None,
+        }
+    }
+}
+
+/// What the system layer reports back to the workload layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Notification {
+    /// `npu`'s participation in `coll` finished at `time`.
+    CollectiveDone {
+        /// The collective.
+        coll: CollId,
+        /// The NPU that finished.
+        npu: NodeId,
+        /// Completion time.
+        time: Time,
+    },
+    /// A workload callback (e.g. "compute done") fired.
+    Callback {
+        /// The handle returned by [`SystemSim::schedule_callback`].
+        id: CallbackId,
+        /// Fire time.
+        time: Time,
+    },
+}
+
+/// Master event type: network events plus system-layer events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SysEvent {
+    Net(NetEvent),
+    /// Endpoint processing (endpoint delay + local reduction) of a received
+    /// message finished; advance the chunk's phase machine.
+    EndpointDone {
+        npu: u32,
+        coll: u64,
+        chunk: u32,
+        phase: u8,
+        step: u32,
+    },
+    Callback(u64),
+    /// A paced message injection (`injection-policy: normal`).
+    Inject(Box<(Message, Route)>),
+}
+
+/// Wrapper giving backends scheduling access to the master queue.
+struct NetQ<'a>(&'a mut EventQueue<SysEvent>);
+
+impl NetScheduler for NetQ<'_> {
+    fn now(&self) -> Time {
+        self.0.now()
+    }
+    fn schedule_at(&mut self, at: Time, event: NetEvent) {
+        self.0.schedule_at(at, SysEvent::Net(event));
+    }
+}
+
+/// Per-chunk runtime state on one NPU.
+#[derive(Debug)]
+struct ChunkState {
+    bytes: u64,
+    phase: u8,
+    entered_phase_at: Time,
+    machine: Option<PhaseMachine>,
+    /// Messages that arrived before this NPU entered their phase
+    /// (neighbors can run ahead): (phase, step), drained at phase entry.
+    pending: Vec<(u8, u32)>,
+    done: bool,
+}
+
+/// One NPU's share of a collective.
+#[derive(Debug)]
+struct NpuColl {
+    chunks: Vec<ChunkState>,
+    chunks_done: u32,
+}
+
+/// Global state of an in-flight collective.
+struct CollState {
+    plan: CollectivePlan,
+    update_per_kb: Time,
+    per_npu: Vec<NpuColl>,
+    npus_done: usize,
+    report: CollReport,
+}
+
+/// Logical→physical overlay state (§IV-B: "map a single logical topology
+/// on different physical topologies").
+struct Overlay {
+    mapping: Mapping,
+    /// physical NPU id -> logical NPU id.
+    inverse: Vec<usize>,
+    finder: PathFinder,
+}
+
+impl fmt::Debug for Overlay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Overlay")
+            .field("nodes", &self.inverse.len())
+            .finish()
+    }
+}
+
+/// Per-NPU scheduler: ready queue + dispatcher accounting (Fig 7).
+#[derive(Debug, Default)]
+struct Sys {
+    /// (coll, chunk, pushed_at). Popped from the front; LIFO pushes new
+    /// collectives at the front, FIFO at the back.
+    ready: VecDeque<(u64, u32, Time)>,
+    /// Chunks dispatched but still in phase 0 of their plan.
+    active_first_phase: usize,
+}
+
+/// The system-layer simulator; see the crate documentation for the model.
+pub struct SystemSim {
+    topo: LogicalTopology,
+    cfg: SystemConfig,
+    net_cfg: NetworkConfig,
+    net: Box<dyn Backend>,
+    overlay: Option<Overlay>,
+    queue: EventQueue<SysEvent>,
+    npus: Vec<Sys>,
+    colls: HashMap<u64, CollState>,
+    reports: HashMap<u64, CollReport>,
+    notifications: VecDeque<Notification>,
+    stats: SystemStats,
+    trace: Option<Vec<PhaseSpan>>,
+    next_coll: u64,
+    next_msg: u64,
+    next_cb: u64,
+    arrivals_scratch: Vec<Arrival>,
+}
+
+impl fmt::Debug for SystemSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SystemSim")
+            .field("topo", &self.topo.shape_string())
+            .field("now", &self.queue.now())
+            .field("inflight_colls", &self.colls.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+impl SystemSim {
+    /// Builds a simulator over `topo` with the chosen network backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configs fail validation.
+    pub fn new(
+        topo: LogicalTopology,
+        cfg: SystemConfig,
+        net_cfg: &NetworkConfig,
+        backend: BackendKind,
+    ) -> Self {
+        let net: Box<dyn Backend> = match backend {
+            BackendKind::Analytical => Box::new(AnalyticalNet::new(&topo, net_cfg)),
+            BackendKind::Garnet => Box::new(GarnetNet::new(&topo, net_cfg)),
+        };
+        Self::with_backend(topo, cfg, net_cfg, net)
+    }
+
+    /// Builds a simulator over a caller-provided backend (the "lightweight
+    /// interface" portability point of §IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn with_backend(
+        topo: LogicalTopology,
+        cfg: SystemConfig,
+        net_cfg: &NetworkConfig,
+        net: Box<dyn Backend>,
+    ) -> Self {
+        cfg.validate();
+        let n = topo.num_npus();
+        SystemSim {
+            topo,
+            cfg,
+            net_cfg: *net_cfg,
+            net,
+            overlay: None,
+            queue: EventQueue::new(),
+            npus: (0..n).map(|_| Sys::default()).collect(),
+            colls: HashMap::new(),
+            reports: HashMap::new(),
+            notifications: VecDeque::new(),
+            stats: SystemStats::default(),
+            trace: None,
+            next_coll: 0,
+            next_msg: 0,
+            next_cb: 0,
+            arrivals_scratch: Vec::new(),
+        }
+    }
+
+    /// Builds a simulator whose *logical* topology (used for collective
+    /// synthesis and scheduling) differs from the *physical* fabric the
+    /// messages actually traverse — the paper's §IV-B flexibility: "map a
+    /// 3D logical topology on a 1D or 2D physical torus". `mapping`
+    /// permutes logical NPU ids onto physical NPU ids; logical
+    /// neighbor-sends become shortest-path physical routes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the mapping does not cover exactly the NPUs of both
+    /// topologies.
+    pub fn with_overlay(
+        logical: LogicalTopology,
+        physical: &LogicalTopology,
+        mapping: Mapping,
+        cfg: SystemConfig,
+        net_cfg: &NetworkConfig,
+        backend: BackendKind,
+    ) -> Result<Self, SystemError> {
+        if mapping.len() != logical.num_npus() || logical.num_npus() != physical.num_npus() {
+            return Err(SystemError::InvalidOverlay {
+                what: format!(
+                    "mapping covers {} nodes, logical has {}, physical has {}",
+                    mapping.len(),
+                    logical.num_npus(),
+                    physical.num_npus()
+                ),
+            });
+        }
+        let net: Box<dyn Backend> = match backend {
+            BackendKind::Analytical => Box::new(AnalyticalNet::new(physical, net_cfg)),
+            BackendKind::Garnet => Box::new(GarnetNet::new(physical, net_cfg)),
+        };
+        let mut inverse = vec![usize::MAX; physical.num_npus()];
+        for l in 0..logical.num_npus() {
+            inverse[mapping.apply(NodeId(l)).index()] = l;
+        }
+        let finder = PathFinder::new(physical);
+        let mut sim = Self::with_backend(logical, cfg, net_cfg, net);
+        sim.overlay = Some(Overlay {
+            mapping,
+            inverse,
+            finder,
+        });
+        Ok(sim)
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// The topology the simulator runs over.
+    pub fn topology(&self) -> &LogicalTopology {
+        &self.topo
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Aggregate system statistics.
+    pub fn stats(&self) -> &SystemStats {
+        &self.stats
+    }
+
+    /// Starts recording per-chunk phase spans (for Chrome trace export).
+    /// Call before issuing work; spans accumulate until the simulator is
+    /// dropped.
+    pub fn enable_tracing(&mut self) {
+        self.trace.get_or_insert_with(Vec::new);
+    }
+
+    /// Recorded phase spans, if tracing was enabled.
+    pub fn trace(&self) -> Option<&[PhaseSpan]> {
+        self.trace.as_deref()
+    }
+
+    /// Network backend statistics.
+    pub fn net_stats(&self) -> &astra_network::NetStats {
+        self.net.stats()
+    }
+
+    /// The archived report of a completed collective.
+    pub fn report(&self, coll: CollId) -> Option<&CollReport> {
+        self.reports.get(&coll.0)
+    }
+
+    /// Issues a collective on every NPU. Each NPU gets its own
+    /// [`Notification::CollectiveDone`] when its participation finishes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty sets or if no active dimension matches the request.
+    pub fn issue_collective(&mut self, req: CollectiveRequest) -> Result<CollId, SystemError> {
+        if req.bytes == 0 {
+            return Err(SystemError::EmptySet);
+        }
+        let algorithm = req.algorithm.unwrap_or(self.cfg.algorithm);
+        let p = plan_with_intra(
+            &self.topo,
+            req.op,
+            algorithm,
+            req.dims.as_deref(),
+            self.cfg.intra_algo,
+        )?;
+        let id = self.next_coll;
+        self.next_coll += 1;
+
+        // Chunking: split the set into (up to) `set_splits` chunks,
+        // distributing the remainder over the first chunks.
+        let splits = u64::from(self.cfg.set_splits).min(req.bytes) as u32;
+        let base = req.bytes / u64::from(splits);
+        let rem = req.bytes % u64::from(splits);
+        let chunk_bytes: Vec<u64> = (0..splits)
+            .map(|c| base + u64::from(u64::from(c) < rem))
+            .collect();
+
+        let now = self.now();
+        let per_npu: Vec<NpuColl> = (0..self.topo.num_npus())
+            .map(|_| NpuColl {
+                chunks: chunk_bytes
+                    .iter()
+                    .map(|&b| ChunkState {
+                        bytes: b,
+                        phase: 0,
+                        entered_phase_at: Time::ZERO,
+                        machine: None,
+                        pending: Vec::new(),
+                        done: false,
+                    })
+                    .collect(),
+                chunks_done: 0,
+            })
+            .collect();
+        let phases = p.phases().len();
+        self.colls.insert(
+            id,
+            CollState {
+                plan: p,
+                update_per_kb: req
+                    .local_update_per_kb
+                    .unwrap_or(self.cfg.local_update_per_kb),
+                per_npu,
+                npus_done: 0,
+                report: CollReport {
+                    set_bytes: req.bytes,
+                    chunks: splits,
+                    phases,
+                    issued_at: now,
+                    first_npu_done: Time::ZERO,
+                    finished_at: Time::ZERO,
+                    ready_delay: Default::default(),
+                    phase_queue: Vec::new(),
+                    phase_network: Vec::new(),
+                },
+            },
+        );
+
+        // Push chunks into every NPU's ready queue and kick dispatchers.
+        for npu in 0..self.npus.len() {
+            match self.cfg.scheduling {
+                SchedulingPolicy::Fifo => {
+                    for c in 0..splits {
+                        self.npus[npu].ready.push_back((id, c, now));
+                    }
+                }
+                SchedulingPolicy::Lifo => {
+                    for c in (0..splits).rev() {
+                        self.npus[npu].ready.push_front((id, c, now));
+                    }
+                }
+            }
+        }
+        for npu in 0..self.npus.len() {
+            self.maybe_dispatch(npu);
+        }
+        Ok(CollId(id))
+    }
+
+    /// Schedules a workload callback `delay` from now; a
+    /// [`Notification::Callback`] with the returned id fires then.
+    pub fn schedule_callback(&mut self, delay: Time) -> CallbackId {
+        let id = self.next_cb;
+        self.next_cb += 1;
+        self.queue.schedule_in(delay, SysEvent::Callback(id));
+        CallbackId(id)
+    }
+
+    /// Processes events until a notification is available (returning it) or
+    /// the simulation drains (returning `None`).
+    pub fn run_until_notification(&mut self) -> Option<Notification> {
+        loop {
+            if let Some(n) = self.notifications.pop_front() {
+                return Some(n);
+            }
+            if !self.step() {
+                return self.notifications.pop_front();
+            }
+        }
+    }
+
+    /// Runs until no events remain; returns the final time. Any pending
+    /// notifications stay queued for [`SystemSim::run_until_notification`].
+    pub fn run_until_idle(&mut self) -> Time {
+        while self.step() {}
+        self.now()
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((_, ev)) = self.queue.pop() else {
+            return false;
+        };
+        match ev {
+            SysEvent::Net(nev) => {
+                let mut arrivals = std::mem::take(&mut self.arrivals_scratch);
+                arrivals.clear();
+                self.net.handle(&mut NetQ(&mut self.queue), nev, &mut arrivals);
+                for a in &arrivals {
+                    self.on_arrival(*a);
+                }
+                self.arrivals_scratch = arrivals;
+            }
+            SysEvent::EndpointDone {
+                npu,
+                coll,
+                chunk,
+                phase,
+                step,
+            } => self.on_endpoint_done(npu as usize, coll, chunk, phase, step),
+            SysEvent::Callback(id) => {
+                let time = self.now();
+                self.notifications.push_back(Notification::Callback {
+                    id: CallbackId(id),
+                    time,
+                });
+            }
+            SysEvent::Inject(boxed) => {
+                let (msg, route) = *boxed;
+                self.net
+                    .send(&mut NetQ(&mut self.queue), msg, route)
+                    .expect("system layer produced an invalid route");
+            }
+        }
+        true
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    /// Fig 7's dispatcher: if fewer than T chunks are in their first phase,
+    /// issue up to P chunks from the ready queue.
+    fn maybe_dispatch(&mut self, npu: usize) {
+        if self.npus[npu].active_first_phase >= self.cfg.dispatcher_threshold {
+            return;
+        }
+        for _ in 0..self.cfg.dispatcher_batch {
+            let Some((coll, chunk, pushed)) = self.npus[npu].ready.pop_front() else {
+                break;
+            };
+            let wait = self.now() - pushed;
+            self.stats.record_ready_delay(wait);
+            if let Some(cs) = self.colls.get_mut(&coll) {
+                cs.report.ready_delay.record_time(wait);
+            }
+            self.npus[npu].active_first_phase += 1;
+            self.enter_phase(npu, coll, chunk, 0);
+        }
+    }
+
+    /// Moves a chunk into phase `phase`: builds the machine, issues initial
+    /// sends, drains any early-arrived messages.
+    fn enter_phase(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8) {
+        let cs = self.colls.get_mut(&coll).expect("collective exists");
+        let spec = cs.plan.phases()[phase as usize];
+        let chunk_state = &mut cs.per_npu[npu].chunks[chunk as usize];
+        chunk_state.phase = phase;
+        chunk_state.entered_phase_at = self.queue.now();
+        let mut machine = PhaseMachine::new(&spec, chunk_state.bytes);
+        let sends = machine.start();
+        chunk_state.machine = Some(machine);
+
+        // Drain buffered early messages for this phase, in step order.
+        let mut early: Vec<u32> = chunk_state
+            .pending
+            .iter()
+            .filter(|(p, _)| *p == phase)
+            .map(|(_, s)| *s)
+            .collect();
+        chunk_state.pending.retain(|(p, _)| *p != phase);
+        early.sort_unstable();
+
+        self.issue_sends(npu, coll, chunk, phase, &sends);
+        for step in early {
+            self.schedule_endpoint(npu, coll, chunk, phase, step);
+        }
+    }
+
+    /// Resolves and injects a batch of sends from a phase machine.
+    fn issue_sends(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8, sends: &[SendCmd]) {
+        if sends.is_empty() {
+            return;
+        }
+        let cs = self.colls.get(&coll).expect("collective exists");
+        let spec = cs.plan.phases()[phase as usize];
+        let channel = chunk as usize % spec.concurrency.max(1);
+        let me = NodeId(npu);
+        let routes: Vec<(Route, u64, u32)> = sends
+            .iter()
+            .map(|s| {
+                let route = match s.target {
+                    Target::RingNext => self
+                        .topo
+                        .ring_route(spec.dim, channel, me, 1)
+                        .expect("phase dim ring exists"),
+                    Target::RingDistance(d) => self
+                        .topo
+                        .ring_route(spec.dim, channel, me, d)
+                        .expect("distance within ring"),
+                    Target::GroupOffset(off) => {
+                        let group = self
+                            .topo
+                            .ring(spec.dim, channel, me)
+                            .expect("phase dim group exists");
+                        let dst = group.ahead(me, off).expect("member of own group");
+                        self.topo
+                            .switch_route(me, dst, channel)
+                            .expect("switch route exists for direct phase")
+                    }
+                    Target::GroupXor(mask) => {
+                        let group = self
+                            .topo
+                            .ring(spec.dim, channel, me)
+                            .expect("phase dim group exists");
+                        let pos = group.position(me).expect("member of own group");
+                        let partner = group.members()[pos ^ mask];
+                        if spec.on_rings {
+                            // Software-routed along the ring direction.
+                            let dist = ((pos ^ mask) + group.size() - pos) % group.size();
+                            self.topo
+                                .ring_route(spec.dim, channel, me, dist)
+                                .expect("xor partner reachable on ring")
+                        } else {
+                            self.topo
+                                .switch_route(me, partner, channel)
+                                .expect("switch route exists for xor exchange")
+                        }
+                    }
+                };
+                (route, s.bytes, s.step)
+            })
+            .collect();
+        // Under the `normal` injection policy, bursts are paced: each
+        // subsequent message waits one first-link serialization time.
+        let gap = if self.cfg.injection == InjectionPolicy::Normal && routes.len() > 1 {
+            let params = self.net_cfg.link(spec.class);
+            let wire = params.wire_bytes(routes[0].1);
+            self.net_cfg.clock.serialization_time(wire, params.gbps)
+        } else {
+            Time::ZERO
+        };
+        for (k, (route, bytes, step)) in routes.into_iter().enumerate() {
+            let tag = Tag {
+                coll,
+                chunk,
+                phase,
+                step,
+            }
+            .pack();
+            // Under an overlay, the logical route only determines the
+            // destination; the message physically travels a shortest path
+            // on the real fabric (spread over parallel links by channel).
+            let (src, route) = match &mut self.overlay {
+                None => (me, route),
+                Some(o) => {
+                    let psrc = o.mapping.apply(me);
+                    let pdst = o.mapping.apply(route.dst());
+                    let proute = o
+                        .finder
+                        .route(psrc, pdst, channel)
+                        .expect("physical fabric is connected");
+                    (psrc, proute)
+                }
+            };
+            let msg = Message::new(self.next_msg, src, route.dst(), bytes, tag);
+            self.next_msg += 1;
+            let delay = gap.scale(k as u64, 1);
+            if delay == Time::ZERO {
+                self.net
+                    .send(&mut NetQ(&mut self.queue), msg, route)
+                    .expect("system layer produced an invalid route");
+            } else {
+                self.queue
+                    .schedule_in(delay, SysEvent::Inject(Box::new((msg, route))));
+            }
+        }
+    }
+
+    /// A message reached its destination NPU: record stats and start
+    /// endpoint processing (or buffer if the chunk is not in that phase yet).
+    fn on_arrival(&mut self, arrival: Arrival) {
+        let tag = Tag::unpack(arrival.message.tag);
+        let npu = match &self.overlay {
+            None => arrival.message.dst.index(),
+            Some(o) => o.inverse[arrival.message.dst.index()],
+        };
+        let queueing = arrival.source_queueing();
+        let wire = arrival.wire_time();
+        self.stats
+            .record_message(tag.phase as usize, queueing, wire);
+        let cs = self.colls.get_mut(&tag.coll).expect("collective in flight");
+        {
+            let r = &mut cs.report;
+            let p = tag.phase as usize;
+            if p >= r.phase_queue.len() {
+                r.phase_queue.resize_with(p + 1, Default::default);
+                r.phase_network.resize_with(p + 1, Default::default);
+            }
+            r.phase_queue[p].record_time(queueing);
+            r.phase_network[p].record_time(wire);
+        }
+        let chunk_state = &mut cs.per_npu[npu].chunks[tag.chunk as usize];
+        let ready_for_it = chunk_state.machine.is_some() && chunk_state.phase == tag.phase;
+        if ready_for_it {
+            self.schedule_endpoint(npu, tag.coll, tag.chunk, tag.phase, tag.step);
+        } else {
+            assert!(
+                tag.phase >= chunk_state.phase && !chunk_state.done,
+                "message for a past phase: tag {tag:?} vs chunk phase {}",
+                chunk_state.phase
+            );
+            chunk_state.pending.push((tag.phase, tag.step));
+        }
+    }
+
+    /// Charges endpoint delay plus (for reducing steps) local-update cost,
+    /// then fires `EndpointDone`.
+    fn schedule_endpoint(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8, step: u32) {
+        let cs = self.colls.get(&coll).expect("collective in flight");
+        let chunk_state = &cs.per_npu[npu].chunks[chunk as usize];
+        let machine = chunk_state.machine.as_ref().expect("machine active");
+        let mut delay = self.cfg.endpoint_delay;
+        if machine.reduces_on(step) {
+            let kb = machine.message_bytes_for(step).div_ceil(1024);
+            delay += Time::from_cycles(cs.update_per_kb.cycles() * kb);
+        }
+        self.queue.schedule_in(
+            delay,
+            SysEvent::EndpointDone {
+                npu: npu as u32,
+                coll,
+                chunk,
+                phase,
+                step,
+            },
+        );
+    }
+
+    /// Endpoint processing finished: advance the phase machine.
+    fn on_endpoint_done(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8, step: u32) {
+        let cs = self.colls.get_mut(&coll).expect("collective in flight");
+        let chunk_state = &mut cs.per_npu[npu].chunks[chunk as usize];
+        debug_assert_eq!(chunk_state.phase, phase, "endpoint for a stale phase");
+        let machine = chunk_state.machine.as_mut().expect("machine active");
+        let reaction = machine
+            .on_receive(step)
+            .expect("phase protocol violation — system layer bug");
+        let completed = reaction.completed;
+        let sends = reaction.sends;
+        self.issue_sends(npu, coll, chunk, phase, &sends);
+        if completed {
+            self.on_phase_complete(npu, coll, chunk, phase);
+        }
+    }
+
+    /// A chunk finished a phase on this NPU: move it to the next phase's
+    /// LSQ or retire it.
+    fn on_phase_complete(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8) {
+        let now = self.now();
+        if let Some(trace) = &mut self.trace {
+            let start = self.colls[&coll].per_npu[npu].chunks[chunk as usize].entered_phase_at;
+            trace.push(PhaseSpan {
+                npu: npu as u32,
+                coll,
+                chunk,
+                phase,
+                start,
+                end: now,
+            });
+        }
+        if phase == 0 {
+            self.npus[npu].active_first_phase = self.npus[npu]
+                .active_first_phase
+                .checked_sub(1)
+                .expect("first-phase accounting underflow");
+        }
+        let cs = self.colls.get_mut(&coll).expect("collective in flight");
+        let num_phases = cs.plan.phases().len();
+        let next = phase as usize + 1;
+        if next < num_phases {
+            self.enter_phase(npu, coll, chunk, next as u8);
+        } else {
+            let npu_state = &mut cs.per_npu[npu];
+            let chunk_state = &mut npu_state.chunks[chunk as usize];
+            chunk_state.machine = None;
+            chunk_state.done = true;
+            debug_assert!(chunk_state.pending.is_empty(), "retired chunk has pending msgs");
+            npu_state.chunks_done += 1;
+            if npu_state.chunks_done as usize == npu_state.chunks.len() {
+                let time = now;
+                cs.npus_done += 1;
+                if cs.npus_done == 1 {
+                    cs.report.first_npu_done = time;
+                }
+                self.notifications.push_back(Notification::CollectiveDone {
+                    coll: CollId(coll),
+                    npu: NodeId(npu),
+                    time,
+                });
+                if cs.npus_done == cs.per_npu.len() {
+                    cs.report.finished_at = time;
+                    self.stats.collectives_completed += 1;
+                    let done = self.colls.remove(&coll).expect("just updated");
+                    self.reports.insert(coll, done.report);
+                }
+            }
+        }
+        if phase == 0 {
+            self.maybe_dispatch(npu);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_collectives::traffic;
+    use astra_topology::Torus3d;
+
+    fn ring8() -> LogicalTopology {
+        LogicalTopology::torus(Torus3d::new(1, 8, 1, 1, 2, 1).unwrap())
+    }
+
+    fn sim(topo: LogicalTopology) -> SystemSim {
+        SystemSim::new(
+            topo,
+            SystemConfig::default(),
+            &NetworkConfig::default(),
+            BackendKind::Analytical,
+        )
+    }
+
+    fn run_collective(sim: &mut SystemSim, req: CollectiveRequest) -> (Time, CollId) {
+        let id = sim.issue_collective(req).unwrap();
+        let mut done = 0;
+        let n = sim.topology().num_npus();
+        while let Some(note) = sim.run_until_notification() {
+            if let Notification::CollectiveDone { coll, .. } = note {
+                assert_eq!(coll, id);
+                done += 1;
+                if done == n {
+                    break;
+                }
+            }
+        }
+        assert_eq!(done, n, "all NPUs must finish");
+        sim.run_until_idle();
+        (sim.report(id).unwrap().finished_at, id)
+    }
+
+    #[test]
+    fn ring_all_reduce_completes_on_all_npus() {
+        let mut s = sim(ring8());
+        let (t, id) = run_collective(&mut s, CollectiveRequest::all_reduce(1 << 20));
+        assert!(t > Time::ZERO);
+        let r = s.report(id).unwrap();
+        assert_eq!(r.chunks, 16);
+        assert_eq!(r.phases, 1);
+        assert!(r.finished_at >= r.first_npu_done);
+    }
+
+    #[test]
+    fn conservation_of_bytes_on_ring_all_reduce() {
+        let mut s = sim(ring8());
+        let bytes = 1 << 20;
+        let (_, id) = run_collective(&mut s, CollectiveRequest::all_reduce(bytes));
+        // Network payload delivered == 8 NPUs x send factor x set size
+        // (+ rounding slack from chunking).
+        let plan = astra_collectives::plan(&ring8(), CollectiveOp::AllReduce, Algorithm::Baseline, None).unwrap();
+        let expect_per_npu = traffic::bytes_sent_per_node(&plan, bytes);
+        let total = s.net_stats().payload_bytes;
+        let expect = 8 * expect_per_npu;
+        let slack = expect / 100 + 1024;
+        assert!(
+            total >= expect - slack && total <= expect + slack,
+            "delivered {total}, expected about {expect}"
+        );
+        let _ = id;
+    }
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        let mut a = sim(ring8());
+        let (t1, _) = run_collective(&mut a, CollectiveRequest::all_reduce(1 << 18));
+        let mut b = sim(ring8());
+        let (t2, _) = run_collective(&mut b, CollectiveRequest::all_reduce(1 << 24));
+        assert!(t2 > t1, "64x data should take longer: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn multi_dim_torus_all_reduce() {
+        let topo = LogicalTopology::torus(Torus3d::new(2, 2, 2, 1, 1, 1).unwrap());
+        let mut s = sim(topo);
+        let (_, id) = run_collective(&mut s, CollectiveRequest::all_reduce(1 << 16));
+        assert_eq!(s.report(id).unwrap().phases, 3);
+        // Per-phase stats exist for all three phases.
+        assert!(s.stats().phase_network.len() >= 3);
+        assert!(s.stats().phase_network.iter().all(|p| p.count() > 0));
+    }
+
+    #[test]
+    fn enhanced_beats_baseline_on_asymmetric_fabric() {
+        let topo = || LogicalTopology::torus(Torus3d::new(4, 4, 4, 2, 2, 2).unwrap());
+        let mut net_cfg = NetworkConfig::default();
+        net_cfg.local.gbps = 200.0;
+        net_cfg.package.gbps = 25.0;
+        let base_cfg = SystemConfig {
+            algorithm: Algorithm::Baseline,
+            ..SystemConfig::default()
+        };
+        let enh_cfg = SystemConfig {
+            algorithm: Algorithm::Enhanced,
+            ..SystemConfig::default()
+        };
+        let mut s1 = SystemSim::new(topo(), base_cfg, &net_cfg, BackendKind::Analytical);
+        let (t_base, _) = run_collective(&mut s1, CollectiveRequest::all_reduce(1 << 22));
+        let mut s2 = SystemSim::new(topo(), enh_cfg, &net_cfg, BackendKind::Analytical);
+        let (t_enh, _) = run_collective(&mut s2, CollectiveRequest::all_reduce(1 << 22));
+        assert!(
+            t_enh < t_base,
+            "enhanced ({t_enh}) should beat baseline ({t_base})"
+        );
+    }
+
+    #[test]
+    fn callbacks_fire_in_order() {
+        let mut s = sim(ring8());
+        let a = s.schedule_callback(Time::from_cycles(100));
+        let b = s.schedule_callback(Time::from_cycles(50));
+        let first = s.run_until_notification().unwrap();
+        let second = s.run_until_notification().unwrap();
+        match (first, second) {
+            (
+                Notification::Callback { id: f, time: tf },
+                Notification::Callback { id: g, time: tg },
+            ) => {
+                assert_eq!(f, b);
+                assert_eq!(g, a);
+                assert!(tf < tg);
+            }
+            other => panic!("unexpected notifications: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        let mut s = sim(ring8());
+        assert!(matches!(
+            s.issue_collective(CollectiveRequest::all_reduce(0)),
+            Err(SystemError::EmptySet)
+        ));
+    }
+
+    #[test]
+    fn tiny_set_uses_fewer_chunks() {
+        let mut s = sim(ring8());
+        let (_, id) = run_collective(&mut s, CollectiveRequest::all_reduce(5));
+        assert_eq!(s.report(id).unwrap().chunks, 5);
+    }
+
+    #[test]
+    fn all_to_all_on_ring_completes() {
+        let mut s = sim(ring8());
+        let (t, id) = run_collective(&mut s, CollectiveRequest::all_to_all(1 << 18));
+        assert!(t > Time::ZERO);
+        assert_eq!(s.report(id).unwrap().phases, 1);
+    }
+
+    #[test]
+    fn alltoall_fabric_all_reduce_and_a2a() {
+        use astra_topology::HierAllToAll;
+        let topo = LogicalTopology::alltoall(HierAllToAll::new(1, 8, 1, 7).unwrap());
+        let mut s = sim(topo.clone());
+        let (t_ar, _) = run_collective(&mut s, CollectiveRequest::all_reduce(1 << 20));
+        assert!(t_ar > Time::ZERO);
+        let mut s2 = sim(topo);
+        let (t_a2a, _) = run_collective(&mut s2, CollectiveRequest::all_to_all(1 << 20));
+        assert!(t_a2a > Time::ZERO);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut s = sim(ring8());
+            let (t, _) = run_collective(&mut s, CollectiveRequest::all_reduce(123_457));
+            (t, s.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn two_collectives_lifo_vs_fifo_priority() {
+        // Issue a big collective then a small one; under LIFO the small one
+        // (issued last) finishes earlier than under FIFO.
+        let run = |policy: SchedulingPolicy| {
+            let cfg = SystemConfig {
+                scheduling: policy,
+                // Small threshold so the ready queue actually holds chunks.
+                dispatcher_threshold: 2,
+                dispatcher_batch: 2,
+                ..SystemConfig::default()
+            };
+            let mut s = SystemSim::new(
+                ring8(),
+                cfg,
+                &NetworkConfig::default(),
+                BackendKind::Analytical,
+            );
+            let _big = s.issue_collective(CollectiveRequest::all_reduce(1 << 24)).unwrap();
+            let small = s.issue_collective(CollectiveRequest::all_reduce(1 << 16)).unwrap();
+            let mut small_done_at = Time::ZERO;
+            let mut done = 0;
+            while let Some(n) = s.run_until_notification() {
+                if let Notification::CollectiveDone { coll, time, .. } = n {
+                    if coll == small {
+                        done += 1;
+                        small_done_at = time;
+                        if done == 8 {
+                            break;
+                        }
+                    }
+                }
+            }
+            small_done_at
+        };
+        let lifo = run(SchedulingPolicy::Lifo);
+        let fifo = run(SchedulingPolicy::Fifo);
+        assert!(
+            lifo < fifo,
+            "LIFO should prioritize the later collective: lifo {lifo} vs fifo {fifo}"
+        );
+    }
+
+    #[test]
+    fn garnet_backend_small_run() {
+        let topo = LogicalTopology::torus(Torus3d::new(1, 4, 1, 1, 1, 1).unwrap());
+        let mut s = SystemSim::new(
+            topo,
+            SystemConfig {
+                set_splits: 2,
+                ..SystemConfig::default()
+            },
+            &NetworkConfig::default(),
+            BackendKind::Garnet,
+        );
+        let id = s.issue_collective(CollectiveRequest::all_reduce(4096)).unwrap();
+        let mut done = 0;
+        while let Some(n) = s.run_until_notification() {
+            if matches!(n, Notification::CollectiveDone { .. }) {
+                done += 1;
+                if done == 4 {
+                    break;
+                }
+            }
+        }
+        assert_eq!(done, 4);
+        s.run_until_idle();
+        assert!(s.report(id).is_some());
+    }
+}
+
+#[cfg(test)]
+mod injection_tests {
+    use super::*;
+    use crate::InjectionPolicy;
+    use astra_topology::{HierAllToAll, Torus3d};
+
+    fn run_policy(policy: InjectionPolicy) -> (Time, u64) {
+        // Direct alltoall collective: each NPU blasts 7 messages at phase
+        // start; `normal` paces them through Inject events.
+        let topo = LogicalTopology::alltoall(HierAllToAll::new(1, 8, 1, 7).unwrap());
+        let cfg = SystemConfig {
+            injection: policy,
+            set_splits: 4,
+            ..SystemConfig::default()
+        };
+        let mut sim = SystemSim::new(
+            topo,
+            cfg,
+            &NetworkConfig::default(),
+            BackendKind::Analytical,
+        );
+        let id = sim
+            .issue_collective(CollectiveRequest::all_to_all(1 << 20))
+            .unwrap();
+        sim.run_until_idle();
+        (sim.report(id).unwrap().finished_at, sim.events_processed())
+    }
+
+    #[test]
+    fn normal_injection_paces_bursts() {
+        let (aggressive, agg_events) = run_policy(InjectionPolicy::Aggressive);
+        let (normal, norm_events) = run_policy(InjectionPolicy::Normal);
+        // Pacing a burst can never beat immediate injection; on this fabric
+        // the burst shares one up-link per chunk, so the two coincide
+        // exactly - the paced sends hide behind link serialization.
+        assert!(normal >= aggressive, "{normal} vs {aggressive}");
+        // The pacing machinery actually ran: deferred Inject events exist.
+        assert!(
+            norm_events > agg_events,
+            "expected Inject events under normal policy: {norm_events} vs {agg_events}"
+        );
+    }
+
+    #[test]
+    fn normal_injection_is_deterministic() {
+        assert_eq!(
+            run_policy(InjectionPolicy::Normal),
+            run_policy(InjectionPolicy::Normal)
+        );
+    }
+
+    #[test]
+    fn policies_agree_on_single_message_actions() {
+        // Ring all-reduce sends one message per action; pacing is a no-op.
+        let run = |policy| {
+            let topo = LogicalTopology::torus(Torus3d::new(1, 4, 1, 1, 1, 1).unwrap());
+            let cfg = SystemConfig {
+                injection: policy,
+                set_splits: 2,
+                ..SystemConfig::default()
+            };
+            let mut sim = SystemSim::new(
+                topo,
+                cfg,
+                &NetworkConfig::default(),
+                BackendKind::Analytical,
+            );
+            let id = sim
+                .issue_collective(CollectiveRequest::all_reduce(1 << 16))
+                .unwrap();
+            sim.run_until_idle();
+            sim.report(id).unwrap().finished_at
+        };
+        assert_eq!(
+            run(InjectionPolicy::Aggressive),
+            run(InjectionPolicy::Normal)
+        );
+    }
+}
+
+#[cfg(test)]
+mod overlay_tests {
+    use super::*;
+    use astra_topology::Torus3d;
+
+    fn run_overlay(
+        logical: LogicalTopology,
+        physical: &LogicalTopology,
+        mapping: Mapping,
+    ) -> Time {
+        let mut sim = SystemSim::with_overlay(
+            logical,
+            physical,
+            mapping,
+            SystemConfig::default(),
+            &NetworkConfig::default(),
+            BackendKind::Analytical,
+        )
+        .unwrap();
+        let id = sim
+            .issue_collective(CollectiveRequest::all_reduce(1 << 20))
+            .unwrap();
+        sim.run_until_idle();
+        sim.report(id).unwrap().finished_at
+    }
+
+    #[test]
+    fn logical_2d_on_physical_1d_ring_runs_and_is_slower() {
+        // The paper's §IV-B example: a multi-dim logical topology mapped
+        // onto a lower-dimensional physical fabric. Logical 1x4x4 (16 NPUs)
+        // on a physical 1x16x1 ring: logical vertical neighbors are 4
+        // physical hops apart, so the overlay must be slower than running
+        // the same logical topology natively.
+        let logical = LogicalTopology::torus(Torus3d::new(1, 4, 4, 1, 2, 2).unwrap());
+        let physical = LogicalTopology::torus(Torus3d::new(1, 16, 1, 1, 2, 1).unwrap());
+        let overlaid = run_overlay(logical.clone(), &physical, Mapping::identity(16));
+
+        let mut native = SystemSim::new(
+            logical,
+            SystemConfig::default(),
+            &NetworkConfig::default(),
+            BackendKind::Analytical,
+        );
+        let id = native
+            .issue_collective(CollectiveRequest::all_reduce(1 << 20))
+            .unwrap();
+        native.run_until_idle();
+        let native_t = native.report(id).unwrap().finished_at;
+        assert!(
+            overlaid > native_t,
+            "overlay on a thinner fabric must be slower: {overlaid} vs {native_t}"
+        );
+    }
+
+    #[test]
+    fn permuted_overlay_on_isomorphic_fabric_completes() {
+        // Same shape, shuffled labels: still completes, same number of
+        // NPUs notified.
+        let logical = LogicalTopology::torus(Torus3d::new(1, 8, 1, 1, 2, 1).unwrap());
+        let physical = logical.clone();
+        let perm = Mapping::from_permutation(vec![3, 1, 4, 0, 5, 7, 2, 6]).unwrap();
+        let t = run_overlay(logical, &physical, perm);
+        assert!(t > Time::ZERO);
+    }
+
+    #[test]
+    fn identity_overlay_close_to_native_on_same_fabric() {
+        // Identity mapping on the same fabric routes neighbor sends over
+        // single physical hops; results should be in the same ballpark as
+        // native execution (path selection may differ across parallel
+        // rings, so allow slack).
+        let topo = || LogicalTopology::torus(Torus3d::new(1, 8, 1, 1, 2, 1).unwrap());
+        let overlaid = run_overlay(topo(), &topo(), Mapping::identity(8));
+        let mut native = SystemSim::new(
+            topo(),
+            SystemConfig::default(),
+            &NetworkConfig::default(),
+            BackendKind::Analytical,
+        );
+        let id = native
+            .issue_collective(CollectiveRequest::all_reduce(1 << 20))
+            .unwrap();
+        native.run_until_idle();
+        let native_t = native.report(id).unwrap().finished_at.cycles() as f64;
+        let ratio = overlaid.cycles() as f64 / native_t;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "identity overlay should be near-native: ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn mismatched_overlay_rejected() {
+        let logical = LogicalTopology::torus(Torus3d::new(1, 8, 1, 1, 2, 1).unwrap());
+        let physical = LogicalTopology::torus(Torus3d::new(1, 4, 1, 1, 2, 1).unwrap());
+        assert!(matches!(
+            SystemSim::with_overlay(
+                logical,
+                &physical,
+                Mapping::identity(8),
+                SystemConfig::default(),
+                &NetworkConfig::default(),
+                BackendKind::Analytical,
+            ),
+            Err(SystemError::InvalidOverlay { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod hd_system_tests {
+    use super::*;
+    use astra_collectives::IntraAlgo;
+    use astra_topology::{HierAllToAll, Torus3d as HdTorus3d};
+
+    fn run_with(topo: LogicalTopology, intra: IntraAlgo, bytes: u64) -> (Time, u64) {
+        let cfg = SystemConfig {
+            intra_algo: intra,
+            ..SystemConfig::default()
+        };
+        let mut sim = SystemSim::new(
+            topo,
+            cfg,
+            &NetworkConfig::default(),
+            BackendKind::Analytical,
+        );
+        let id = sim.issue_collective(CollectiveRequest::all_reduce(bytes)).unwrap();
+        sim.run_until_idle();
+        (
+            sim.report(id).unwrap().finished_at,
+            sim.net_stats().payload_bytes,
+        )
+    }
+
+    #[test]
+    fn hd_all_reduce_completes_on_switch_fabric() {
+        let topo = LogicalTopology::alltoall(HierAllToAll::new(1, 8, 1, 7).unwrap());
+        let (t, payload) = run_with(topo.clone(), IntraAlgo::HalvingDoubling, 1 << 20);
+        assert!(t > Time::ZERO);
+        // Same bandwidth-optimal volume as direct: 2(n-1)/n per node.
+        let (_, direct_payload) = run_with(topo, IntraAlgo::Auto, 1 << 20);
+        let ratio = payload as f64 / direct_payload as f64;
+        assert!(
+            (0.95..1.05).contains(&ratio),
+            "HD and direct move the same bytes: {payload} vs {direct_payload}"
+        );
+    }
+
+    #[test]
+    fn hd_all_reduce_completes_on_torus() {
+        let topo = LogicalTopology::torus(HdTorus3d::new(2, 4, 4, 2, 2, 2).unwrap());
+        let (t, _) = run_with(topo, IntraAlgo::HalvingDoubling, 1 << 20);
+        assert!(t > Time::ZERO);
+    }
+
+    #[test]
+    fn hd_falls_back_on_non_power_of_two() {
+        // 1x6 alltoall: 6 is not a power of two -> planner falls back to
+        // direct; run must still complete.
+        let topo = LogicalTopology::alltoall(HierAllToAll::new(1, 6, 1, 5).unwrap());
+        let (t, _) = run_with(topo, IntraAlgo::HalvingDoubling, 1 << 18);
+        assert!(t > Time::ZERO);
+    }
+
+    #[test]
+    fn hd_is_deterministic() {
+        let topo = || LogicalTopology::alltoall(HierAllToAll::new(2, 8, 1, 3).unwrap());
+        assert_eq!(
+            run_with(topo(), IntraAlgo::HalvingDoubling, 123_456),
+            run_with(topo(), IntraAlgo::HalvingDoubling, 123_456)
+        );
+    }
+}

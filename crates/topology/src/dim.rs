@@ -1,0 +1,100 @@
+//! Named fabric dimensions.
+
+use crate::LinkClass;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dimension of the hierarchical fabric.
+///
+/// Multi-phase collectives run one phase per dimension (§III-D). The torus
+/// has `Local`, `Vertical` and `Horizontal` dimensions; the hierarchical
+/// alltoall has `Local` and `Package` (the switch-based alltoall dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Dim {
+    /// Intra-package rings (fast links).
+    Local,
+    /// Vertical inter-package rings (torus only).
+    Vertical,
+    /// Horizontal inter-package rings (torus only).
+    Horizontal,
+    /// The switch-based alltoall dimension (hierarchical alltoall only).
+    Package,
+    /// The scale-out dimension connecting pods of scale-up fabric via
+    /// Ethernet-class links (the paper's §VII future work).
+    ScaleOut,
+}
+
+impl Dim {
+    /// All dimensions, in the paper's traversal order for the torus followed
+    /// by the alltoall package dimension and the scale-out extension.
+    pub const ALL: [Dim; 5] = [
+        Dim::Local,
+        Dim::Vertical,
+        Dim::Horizontal,
+        Dim::Package,
+        Dim::ScaleOut,
+    ];
+
+    /// A stable small index, usable for per-dimension stat arrays.
+    pub fn index(self) -> usize {
+        match self {
+            Dim::Local => 0,
+            Dim::Vertical => 1,
+            Dim::Horizontal => 2,
+            Dim::Package => 3,
+            Dim::ScaleOut => 4,
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Dim::Local => "local",
+            Dim::Vertical => "vertical",
+            Dim::Horizontal => "horizontal",
+            Dim::Package => "package",
+            Dim::ScaleOut => "scale-out",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Description of one active dimension of a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimSpec {
+    /// Which dimension.
+    pub dim: Dim,
+    /// Number of NPUs along it (always > 1 for an active dimension).
+    pub size: usize,
+    /// Number of independent channels a chunk can be scheduled onto:
+    /// unidirectional rings for ring dimensions, global switches for the
+    /// package dimension. This is the LSQ count for the phase (§IV-B).
+    pub concurrency: usize,
+    /// Link technology of the dimension.
+    pub class: LinkClass,
+    /// Whether the dimension is served by ring algorithms (`true`) or direct
+    /// switch-based algorithms (`false`).
+    pub is_ring: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_distinct_and_dense() {
+        let mut seen = [false; 5];
+        for d in Dim::ALL {
+            assert!(!seen[d.index()]);
+            seen[d.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Dim::Local.to_string(), "local");
+        assert_eq!(Dim::Package.to_string(), "package");
+    }
+}

@@ -1,0 +1,143 @@
+//! Layer descriptions and parallelization strategies.
+
+use astra_collectives::CollectiveOp;
+use astra_des::Time;
+use astra_topology::Dim;
+use serde::{Deserialize, Serialize};
+
+/// One communication a layer performs in one training phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommSpec {
+    /// The collective operation.
+    pub op: CollectiveOp,
+    /// Set size per NPU in bytes.
+    pub bytes: u64,
+}
+
+impl CommSpec {
+    /// Convenience constructor.
+    pub fn new(op: CollectiveOp, bytes: u64) -> Self {
+        CommSpec { op, bytes }
+    }
+}
+
+/// The parallelization strategy (Table I).
+///
+/// The strategy decides which training phases communicate and over which
+/// fabric dimensions the collectives run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Model replicated; weight gradients all-reduced over all dimensions.
+    Data,
+    /// Model split; activations and input gradients communicated over all
+    /// dimensions.
+    Model,
+    /// Mixed: weight gradients over `data_dims`, activations / input
+    /// gradients over `model_dims` (§V-E's Transformer: data =
+    /// local+horizontal, model = vertical).
+    Hybrid {
+        /// Dimensions of the data-parallel groups.
+        data_dims: Vec<Dim>,
+        /// Dimensions of the model-parallel groups.
+        model_dims: Vec<Dim>,
+    },
+}
+
+impl Parallelism {
+    /// Dimensions weight-gradient collectives run over (`None` = all).
+    pub fn weight_grad_dims(&self) -> Option<&[Dim]> {
+        match self {
+            Parallelism::Data | Parallelism::Model => None,
+            Parallelism::Hybrid { data_dims, .. } => Some(data_dims),
+        }
+    }
+
+    /// Dimensions activation / input-gradient collectives run over
+    /// (`None` = all).
+    pub fn activation_dims(&self) -> Option<&[Dim]> {
+        match self {
+            Parallelism::Data | Parallelism::Model => None,
+            Parallelism::Hybrid { model_dims, .. } => Some(model_dims),
+        }
+    }
+}
+
+/// One layer's row of the Fig-8 workload file: per-phase compute delay,
+/// per-phase communication, and the local-update (reduction) cost.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Layer name.
+    pub name: String,
+    /// Forward-pass compute delay.
+    pub fwd_compute: Time,
+    /// Forward-pass communication (output activations; blocks the next
+    /// layer's forward compute).
+    pub fwd_comm: Option<CommSpec>,
+    /// Input-gradient compute delay.
+    pub ig_compute: Time,
+    /// Input-gradient communication (blocks the previous layer's
+    /// back-propagation).
+    pub ig_comm: Option<CommSpec>,
+    /// Weight-gradient compute delay.
+    pub wg_compute: Time,
+    /// Weight-gradient communication (overlapped; must finish before this
+    /// layer's forward pass of the next iteration).
+    pub wg_comm: Option<CommSpec>,
+    /// Local-update time per KiB of received collective data (Fig 8's
+    /// "local update time").
+    pub local_update_per_kb: Time,
+}
+
+impl LayerSpec {
+    /// A compute-only layer (no communication) — useful for tests.
+    pub fn compute_only(name: impl Into<String>, fwd: Time, ig: Time, wg: Time) -> Self {
+        LayerSpec {
+            name: name.into(),
+            fwd_compute: fwd,
+            fwd_comm: None,
+            ig_compute: ig,
+            ig_comm: None,
+            wg_compute: wg,
+            wg_comm: None,
+            local_update_per_kb: Time::from_cycles(1),
+        }
+    }
+
+    /// Total bytes this layer communicates per iteration per NPU.
+    pub fn comm_bytes(&self) -> u64 {
+        [&self.fwd_comm, &self.ig_comm, &self.wg_comm]
+            .into_iter()
+            .flatten()
+            .map(|c| c.bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_dim_selection() {
+        assert_eq!(Parallelism::Data.weight_grad_dims(), None);
+        assert_eq!(Parallelism::Model.activation_dims(), None);
+        let h = Parallelism::Hybrid {
+            data_dims: vec![Dim::Local, Dim::Horizontal],
+            model_dims: vec![Dim::Vertical],
+        };
+        assert_eq!(
+            h.weight_grad_dims(),
+            Some(&[Dim::Local, Dim::Horizontal][..])
+        );
+        assert_eq!(h.activation_dims(), Some(&[Dim::Vertical][..]));
+    }
+
+    #[test]
+    fn comm_bytes_sums_present_phases() {
+        let mut l = LayerSpec::compute_only("l", Time::ZERO, Time::ZERO, Time::ZERO);
+        assert_eq!(l.comm_bytes(), 0);
+        l.fwd_comm = Some(CommSpec::new(CollectiveOp::AllGather, 100));
+        l.wg_comm = Some(CommSpec::new(CollectiveOp::AllReduce, 50));
+        assert_eq!(l.comm_bytes(), 150);
+    }
+}

@@ -1,0 +1,114 @@
+//! Training run reports: the numbers Figs 13–18 plot.
+
+use astra_des::Time;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer results, accumulated over all iterations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Total compute time on one NPU (fwd + input-grad + weight-grad,
+    /// summed over iterations).
+    pub compute: Time,
+    /// Total raw duration of this layer's forward (activation) collectives
+    /// (issue → last-NPU completion, summed over iterations).
+    pub fwd_comm: Time,
+    /// Total raw duration of input-gradient collectives.
+    pub ig_comm: Time,
+    /// Total raw duration of weight-gradient collectives.
+    pub wg_comm: Time,
+    /// Exposed communication: training-loop stall time attributable to this
+    /// layer's collectives, averaged across NPUs.
+    pub exposed: Time,
+    /// Mean ready-queue wait (the paper's Queue P0) of this layer's chunks,
+    /// in cycles.
+    pub ready_delay_mean: f64,
+    /// Mean per-phase message source-queueing delay (Queue P1..Pk) over this
+    /// layer's collectives, in cycles.
+    pub phase_queue_mean: Vec<f64>,
+    /// Mean per-phase in-network message delay (Network P1..Pk), in cycles.
+    pub phase_network_mean: Vec<f64>,
+}
+
+impl LayerReport {
+    /// Total raw communication time (Figs 13/14's bars).
+    pub fn total_comm(&self) -> Time {
+        self.fwd_comm + self.ig_comm + self.wg_comm
+    }
+}
+
+/// The complete result of a training simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Workload name.
+    pub workload: String,
+    /// Iterations simulated (`num-passes`, Table III row 2).
+    pub passes: u32,
+    /// Per-layer breakdowns.
+    pub layers: Vec<LayerReport>,
+    /// Wall-clock simulated time until every NPU finished every pass.
+    pub total_time: Time,
+    /// Total compute time per NPU.
+    pub total_compute: Time,
+    /// Total exposed communication per NPU (averaged across NPUs).
+    pub total_exposed: Time,
+}
+
+impl TrainingReport {
+    /// Fraction of end-to-end time that is exposed (non-overlapped)
+    /// communication — the metric of Figs 17 and 18.
+    pub fn exposed_ratio(&self) -> f64 {
+        let denom = (self.total_compute + self.total_exposed).cycles() as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.total_exposed.cycles() as f64 / denom
+        }
+    }
+
+    /// Sum of all layers' raw communication durations.
+    pub fn total_comm(&self) -> Time {
+        self.layers.iter().map(|l| l.total_comm()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposed_ratio_bounds() {
+        let r = TrainingReport {
+            workload: "t".into(),
+            passes: 1,
+            layers: vec![],
+            total_time: Time::from_cycles(100),
+            total_compute: Time::from_cycles(75),
+            total_exposed: Time::from_cycles(25),
+        };
+        assert!((r.exposed_ratio() - 0.25).abs() < 1e-12);
+        let zero = TrainingReport {
+            total_compute: Time::ZERO,
+            total_exposed: Time::ZERO,
+            ..r
+        };
+        assert_eq!(zero.exposed_ratio(), 0.0);
+    }
+
+    #[test]
+    fn layer_total_comm() {
+        let l = LayerReport {
+            name: "x".into(),
+            compute: Time::from_cycles(10),
+            fwd_comm: Time::from_cycles(1),
+            ig_comm: Time::from_cycles(2),
+            wg_comm: Time::from_cycles(3),
+            exposed: Time::ZERO,
+            ready_delay_mean: 0.0,
+            phase_queue_mean: vec![],
+            phase_network_mean: vec![],
+        };
+        assert_eq!(l.total_comm(), Time::from_cycles(6));
+    }
+}

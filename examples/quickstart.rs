@@ -1,0 +1,40 @@
+//! Quickstart: simulate a collective and a small training run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use astra_sim::output::{fmt_bytes, fmt_time, training_table};
+use astra_sim::system::CollectiveRequest;
+use astra_sim::workload::zoo;
+use astra_sim::{CoreError, SimConfig, Simulator};
+
+fn main() -> Result<(), CoreError> {
+    // 1. Bandwidth test: a 1 MiB all-reduce on a 2x4x4 hierarchical torus
+    //    (32 NPUs, Table IV link parameters).
+    let sim = Simulator::new(SimConfig::torus(2, 4, 4))?;
+    println!("fabric: 2x4x4 torus, 32 NPUs, Table IV parameters\n");
+    for bytes in [1 << 16, 1 << 20, 1 << 24] {
+        let out = sim.run_collective(CollectiveRequest::all_reduce(bytes))?;
+        println!(
+            "all-reduce {:>6}  ->  {:>10}  ({} messages, {} chunks)",
+            fmt_bytes(bytes),
+            fmt_time(out.duration),
+            out.system.messages,
+            out.coll.chunks,
+        );
+    }
+
+    // 2. Training run: a small data-parallel MLP for two iterations.
+    println!("\ntraining tiny_mlp (data parallel, 2 passes):\n");
+    let report = sim.run_training(zoo::tiny_mlp())?;
+    print!("{}", training_table(&report).render());
+    println!(
+        "\ntotal time {}   compute {}   exposed comm {}   exposed ratio {:.1}%",
+        fmt_time(report.total_time),
+        fmt_time(report.total_compute),
+        fmt_time(report.total_exposed),
+        report.exposed_ratio() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # astra-sim
+//!
+//! A from-scratch Rust reproduction of **ASTRA-SIM** (Rashidi et al.,
+//! ISPASS 2020): an end-to-end simulator for software/hardware co-design of
+//! distributed deep-learning training platforms over hierarchical scale-up
+//! fabrics.
+//!
+//! This crate is the user-facing umbrella: it re-exports the whole stack.
+//! Start with [`Simulator`] and [`SimConfig`]:
+//!
+//! ```
+//! use astra_sim::{SimConfig, Simulator};
+//! use astra_sim::system::CollectiveRequest;
+//!
+//! // A 2x4x4 hierarchical torus (32 NPUs) with Table IV parameters.
+//! let sim = Simulator::new(SimConfig::torus(2, 4, 4))?;
+//! let out = sim.run_collective(CollectiveRequest::all_reduce(1 << 20))?;
+//! println!("1 MiB all-reduce: {} cycles", out.duration.cycles());
+//! # Ok::<(), astra_sim::CoreError>(())
+//! ```
+//!
+//! The layers, bottom to top (each is its own crate, re-exported here):
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`des`] | deterministic discrete-event kernel |
+//! | [`topology`] | hierarchical torus / alltoall fabrics, rings, routes |
+//! | [`network`] | analytical + Garnet-like flit-level backends |
+//! | [`compute`] | analytical systolic-array NPU model |
+//! | [`collectives`] | multi-phase collective synthesis + state machines |
+//! | [`system`] | scheduler, dispatcher, LSQs (the paper's Fig 7) |
+//! | [`workload`] | training loop, parallelism, model zoo, Fig-8 parser |
+
+pub use astra_core::output;
+pub use astra_core::{
+    CollectiveRunReport, CoreError, OverlayConfig, SimConfig, Simulator, TopologyConfig,
+};
+
+pub use astra_core::collectives;
+pub use astra_core::compute;
+pub use astra_core::des;
+pub use astra_core::network;
+pub use astra_core::system;
+pub use astra_core::topology;
+pub use astra_core::workload;

@@ -1,0 +1,256 @@
+//! The `astra-sim` command-line interface.
+//!
+//! ```text
+//! astra-sim collective --topology 2x4x4 --op all-reduce --bytes 1048576
+//! astra-sim train --topology 2x4x4 --model resnet50 --passes 2
+//! astra-sim train --topology 2x2x2 --workload workloads/custom_mlp.txt
+//! astra-sim export --model transformer --out /tmp/transformer.txt
+//! ```
+//!
+//! Topologies are `MxNxK` (torus) or `MxN@S` (hierarchical alltoall with
+//! `S` global switches). All other parameters use Table III/IV defaults;
+//! use the library API for full control.
+
+use astra_sim::compute::ComputeModel;
+use astra_sim::collectives::{Algorithm, CollectiveOp};
+use astra_sim::output::{fmt_time, training_table};
+use astra_sim::system::CollectiveRequest;
+use astra_sim::workload::{parser, zoo, Workload};
+use astra_sim::{SimConfig, Simulator};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "astra-sim — distributed DL training platform simulator (ASTRA-sim reproduction)
+
+USAGE:
+  astra-sim collective --topology <SHAPE> --op <OP> --bytes <N>
+                       [--enhanced] [--json] [--trace <FILE>]
+  astra-sim train      --topology <SHAPE> (--model <NAME> | --workload <FILE>)
+                       [--passes <N>] [--minibatch <N>] [--json]
+  astra-sim export     --model <NAME> --out <FILE>
+
+SHAPE:  MxNxK       torus (local x horizontal x vertical), e.g. 2x4x4
+        MxN@S       hierarchical alltoall with S global switches, e.g. 4x16@4
+OP:     all-reduce | all-gather | reduce-scatter | all-to-all
+MODEL:  resnet50 | vgg16 | transformer | gpt | dlrm | tiny_mlp"
+    );
+    ExitCode::from(2)
+}
+
+/// Minimal `--flag value` parser.
+struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Self {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                    pairs.push((name.to_owned(), argv[i + 1].clone()));
+                    i += 2;
+                } else {
+                    flags.push(name.to_owned());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { pairs, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+fn parse_topology(shape: &str) -> Result<SimConfig, String> {
+    if let Some((dims, switches)) = shape.split_once('@') {
+        let parts: Vec<&str> = dims.split('x').collect();
+        if parts.len() != 2 {
+            return Err(format!("alltoall shape must be MxN@S, got '{shape}'"));
+        }
+        let m: usize = parts[0].parse().map_err(|_| "bad local size")?;
+        let n: usize = parts[1].parse().map_err(|_| "bad package count")?;
+        let s: usize = switches.parse().map_err(|_| "bad switch count")?;
+        Ok(SimConfig::alltoall(m, n, s))
+    } else {
+        let parts: Vec<&str> = shape.split('x').collect();
+        if parts.len() != 3 {
+            return Err(format!("torus shape must be MxNxK, got '{shape}'"));
+        }
+        let m: usize = parts[0].parse().map_err(|_| "bad local size")?;
+        let n: usize = parts[1].parse().map_err(|_| "bad horizontal size")?;
+        let k: usize = parts[2].parse().map_err(|_| "bad vertical size")?;
+        Ok(SimConfig::torus(m, n, k))
+    }
+}
+
+fn parse_op(op: &str) -> Result<CollectiveOp, String> {
+    match op {
+        "all-reduce" => Ok(CollectiveOp::AllReduce),
+        "all-gather" => Ok(CollectiveOp::AllGather),
+        "reduce-scatter" => Ok(CollectiveOp::ReduceScatter),
+        "all-to-all" => Ok(CollectiveOp::AllToAll),
+        other => Err(format!("unknown collective '{other}'")),
+    }
+}
+
+fn load_model(name: &str, minibatch: u64) -> Result<Workload, String> {
+    let model = ComputeModel::tpu_like_256();
+    match name {
+        "resnet50" => Ok(zoo::resnet50(&model, minibatch)),
+        "vgg16" => Ok(zoo::vgg16(&model, minibatch)),
+        "transformer" => Ok(zoo::transformer(&model, minibatch, 64)),
+        "gpt" => Ok(zoo::gpt_decoder(&model, minibatch, 128, 1024, 12)),
+        "dlrm" => Ok(zoo::dlrm(&model, minibatch)),
+        "tiny_mlp" => Ok(zoo::tiny_mlp()),
+        other => Err(format!("unknown model '{other}'")),
+    }
+}
+
+fn cmd_collective(args: &Args) -> Result<(), String> {
+    let mut cfg = parse_topology(args.get("topology").ok_or("--topology required")?)?;
+    let op = parse_op(args.get("op").unwrap_or("all-reduce"))?;
+    let bytes: u64 = args
+        .get("bytes")
+        .ok_or("--bytes required")?
+        .parse()
+        .map_err(|_| "--bytes must be an integer")?;
+    if args.has("enhanced") {
+        cfg.system.algorithm = Algorithm::Enhanced;
+    }
+    let sim = Simulator::new(cfg).map_err(|e| e.to_string())?;
+    let req = CollectiveRequest {
+        op,
+        bytes,
+        dims: None,
+        algorithm: None,
+        local_update_per_kb: None,
+    };
+    // With --trace FILE, run through a traced system sim and export a
+    // Chrome trace-viewer JSON alongside the summary.
+    if let Some(path) = args.get("trace") {
+        let mut ssim = sim.system_sim().map_err(|e| e.to_string())?;
+        ssim.enable_tracing();
+        ssim.issue_collective(req.clone()).map_err(|e| e.to_string())?;
+        ssim.run_until_idle();
+        let json = astra_sim::output::chrome_trace(ssim.trace().unwrap_or(&[]));
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+    }
+    let out = sim.run_collective(req).map_err(|e| e.to_string())?;
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{op:?} of {bytes} bytes on {}: {} ({} cycles)",
+            sim.config()
+                .topology
+                .build()
+                .map_err(|e| e.to_string())?
+                .shape_string(),
+            fmt_time(out.duration),
+            out.duration.cycles()
+        );
+        println!(
+            "  chunks: {}   phases: {}   messages: {}",
+            out.coll.chunks, out.coll.phases, out.system.messages
+        );
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let mut cfg = parse_topology(args.get("topology").ok_or("--topology required")?)?;
+    if let Some(p) = args.get("passes") {
+        cfg.passes = p.parse().map_err(|_| "--passes must be an integer")?;
+    }
+    let minibatch: u64 = args
+        .get("minibatch")
+        .map(|m| m.parse().map_err(|_| "--minibatch must be an integer"))
+        .transpose()?
+        .unwrap_or(32);
+    let workload = match (args.get("model"), args.get("workload")) {
+        (Some(name), None) => load_model(name, minibatch)?,
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let stem = std::path::Path::new(path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("workload");
+            parser::parse(stem, &text).map_err(|e| e.to_string())?
+        }
+        _ => return Err("exactly one of --model / --workload is required".into()),
+    };
+    let sim = Simulator::new(cfg).map_err(|e| e.to_string())?;
+    let report = sim.run_training(workload).map_err(|e| e.to_string())?;
+    if args.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", training_table(&report).render());
+        println!(
+            "\ntotal {}   compute {}   exposed {}   exposed ratio {:.1}%",
+            fmt_time(report.total_time),
+            fmt_time(report.total_compute),
+            fmt_time(report.total_exposed),
+            report.exposed_ratio() * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_export(args: &Args) -> Result<(), String> {
+    let name = args.get("model").ok_or("--model required")?;
+    let out = args.get("out").ok_or("--out required")?;
+    let minibatch: u64 = args
+        .get("minibatch")
+        .map(|m| m.parse().map_err(|_| "--minibatch must be an integer"))
+        .transpose()?
+        .unwrap_or(32);
+    let wl = load_model(name, minibatch)?;
+    std::fs::write(out, parser::write(&wl)).map_err(|e| format!("{out}: {e}"))?;
+    println!("wrote {} ({} layers) to {out}", wl.name, wl.layers.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return usage();
+    };
+    let args = Args::parse(&argv[1..]);
+    let result = match cmd.as_str() {
+        "collective" => cmd_collective(&args),
+        "train" => cmd_train(&args),
+        "export" => cmd_export(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

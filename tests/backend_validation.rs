@@ -1,0 +1,91 @@
+//! Cross-validation of the two network backends.
+//!
+//! The flit-level garnet backend and the link-level analytical backend
+//! model the same physical fabric at different granularities. On small
+//! configurations their predictions must agree in ordering and be within a
+//! modest constant factor (the flit model pays per-flit serialization
+//! rounding and credit round-trips that the analytical model folds into
+//! the efficiency parameter).
+
+use astra_sim::des::Time;
+use astra_sim::network::NetworkConfig;
+use astra_sim::system::{BackendKind, CollectiveRequest, SystemConfig, SystemSim};
+use astra_sim::topology::{LogicalTopology, Torus3d};
+
+fn run(backend: BackendKind, bytes: u64) -> Time {
+    let topo = LogicalTopology::torus(Torus3d::new(1, 4, 1, 1, 1, 1).unwrap());
+    let mut sim = SystemSim::new(
+        topo,
+        SystemConfig {
+            set_splits: 4,
+            ..SystemConfig::default()
+        },
+        &NetworkConfig::default(),
+        backend,
+    );
+    let id = sim.issue_collective(CollectiveRequest::all_reduce(bytes)).unwrap();
+    sim.run_until_idle();
+    sim.report(id).unwrap().finished_at
+}
+
+#[test]
+fn backends_agree_within_2x_on_small_ring() {
+    for bytes in [4 << 10, 64 << 10, 256 << 10] {
+        let analytical = run(BackendKind::Analytical, bytes).cycles() as f64;
+        let garnet = run(BackendKind::Garnet, bytes).cycles() as f64;
+        let ratio = garnet / analytical;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "backends disagree at {bytes} bytes: analytical {analytical}, garnet {garnet}"
+        );
+    }
+}
+
+#[test]
+fn both_backends_preserve_size_ordering() {
+    for backend in [BackendKind::Analytical, BackendKind::Garnet] {
+        let small = run(backend, 8 << 10);
+        let large = run(backend, 128 << 10);
+        assert!(large > small, "{backend:?} must order by size");
+    }
+}
+
+#[test]
+fn garnet_is_deterministic() {
+    let a = run(BackendKind::Garnet, 32 << 10);
+    let b = run(BackendKind::Garnet, 32 << 10);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn garnet_respects_bandwidth_asymmetry() {
+    // A 2-NPU local ring vs a 2-NPU package ring: the 8x faster local links
+    // must finish the same collective sooner under the flit model.
+    let run_dim = |local: bool| {
+        let topo = if local {
+            LogicalTopology::torus(Torus3d::new(2, 1, 1, 1, 1, 1).unwrap())
+        } else {
+            LogicalTopology::torus(Torus3d::new(1, 2, 1, 1, 1, 1).unwrap())
+        };
+        let mut sim = SystemSim::new(
+            topo,
+            SystemConfig {
+                set_splits: 2,
+                ..SystemConfig::default()
+            },
+            &NetworkConfig::default(),
+            BackendKind::Garnet,
+        );
+        let id = sim
+            .issue_collective(CollectiveRequest::all_reduce(64 << 10))
+            .unwrap();
+        sim.run_until_idle();
+        sim.report(id).unwrap().finished_at
+    };
+    let local = run_dim(true);
+    let package = run_dim(false);
+    assert!(
+        local < package,
+        "200 GB/s local ring ({local}) must beat 25 GB/s package ring ({package})"
+    );
+}

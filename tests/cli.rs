@@ -1,0 +1,116 @@
+//! Integration tests for the `astra-sim` CLI binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_astra-sim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn collective_command_reports_cycles() {
+    let (ok, stdout, _) = run(&[
+        "collective",
+        "--topology",
+        "2x2x2",
+        "--op",
+        "all-reduce",
+        "--bytes",
+        "65536",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("cycles"), "{stdout}");
+    assert!(stdout.contains("2x2x2 torus"));
+}
+
+#[test]
+fn collective_json_output_parses() {
+    let (ok, stdout, _) = run(&[
+        "collective",
+        "--topology",
+        "1x8@7",
+        "--op",
+        "all-to-all",
+        "--bytes",
+        "65536",
+        "--json",
+    ]);
+    assert!(ok);
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert!(v["duration"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn enhanced_flag_changes_result() {
+    let base = run(&[
+        "collective", "--topology", "4x4x4", "--op", "all-reduce", "--bytes", "4194304",
+    ]);
+    let enh = run(&[
+        "collective", "--topology", "4x4x4", "--op", "all-reduce", "--bytes", "4194304",
+        "--enhanced",
+    ]);
+    assert!(base.0 && enh.0);
+    assert_ne!(base.1, enh.1, "enhanced algorithm must change the outcome");
+}
+
+#[test]
+fn train_model_command() {
+    let (ok, stdout, _) = run(&[
+        "train", "--topology", "2x2x1", "--model", "tiny_mlp", "--passes", "1",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("exposed ratio"), "{stdout}");
+}
+
+#[test]
+fn train_workload_file_command() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/workloads/custom_mlp.txt");
+    let (ok, stdout, _) = run(&["train", "--topology", "2x2x2", "--workload", path]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("fc4"));
+}
+
+#[test]
+fn export_roundtrips_through_train() {
+    let dir = std::env::temp_dir().join("astra_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("dlrm.txt");
+    let (ok, _, stderr) = run(&[
+        "export",
+        "--model",
+        "dlrm",
+        "--out",
+        file.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, stdout, stderr) = run(&[
+        "train",
+        "--topology",
+        "1x4@2",
+        "--workload",
+        file.to_str().unwrap(),
+        "--passes",
+        "1",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("embeddings"));
+}
+
+#[test]
+fn bad_arguments_fail_gracefully() {
+    let (ok, _, stderr) = run(&["collective", "--topology", "banana", "--bytes", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+    let (ok, _, _) = run(&["frobnicate"]);
+    assert!(!ok);
+    let (ok, _, stderr) = run(&["train", "--topology", "2x2x2"]);
+    assert!(!ok);
+    assert!(stderr.contains("--model"));
+}
