@@ -69,7 +69,7 @@ fn bench_system_all_reduce(c: &mut Criterion) {
             );
             sim.issue_collective(CollectiveRequest::all_reduce(1 << 20))
                 .unwrap();
-            sim.run_until_idle();
+            sim.run_until_idle().unwrap();
             black_box(sim.events_processed())
         })
     });

@@ -61,6 +61,7 @@ pub fn torus_cfg(
         backend: BackendKind::Analytical,
         passes: 2,
         overlay: None,
+        faults: None,
     }
 }
 
@@ -84,6 +85,7 @@ pub fn alltoall_cfg(
         backend: BackendKind::Analytical,
         passes: 2,
         overlay: None,
+        faults: None,
     }
 }
 

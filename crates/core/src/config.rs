@@ -1,6 +1,6 @@
 //! End-to-end simulator configuration (Table III).
 
-use astra_network::NetworkConfig;
+use astra_network::{FaultPlan, NetworkConfig};
 use astra_system::{BackendKind, SystemConfig};
 use astra_topology::{HierAllToAll, LogicalTopology, PodFabric, Torus3d, TopologyError};
 use serde::{Deserialize, Serialize};
@@ -145,6 +145,10 @@ pub struct SimConfig {
     pub passes: u32,
     /// Optional logical→physical overlay (§IV-B).
     pub overlay: Option<OverlayConfig>,
+    /// Optional deterministic fault plan (link degradation/outage windows,
+    /// straggler NPUs, lossy scale-out transport). `None` and an empty plan
+    /// are both exactly fault-free.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SimConfig {
@@ -166,6 +170,7 @@ impl SimConfig {
             backend: BackendKind::Analytical,
             passes: 2,
             overlay: None,
+            faults: None,
         }
     }
 
@@ -183,6 +188,7 @@ impl SimConfig {
             backend: BackendKind::Analytical,
             passes: 2,
             overlay: None,
+            faults: None,
         }
     }
 }

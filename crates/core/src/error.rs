@@ -1,5 +1,6 @@
 //! Facade error type.
 
+use astra_network::ConfigError;
 use astra_system::SystemError;
 use astra_topology::TopologyError;
 use std::error::Error;
@@ -11,6 +12,8 @@ use std::fmt;
 pub enum CoreError {
     /// The topology configuration was invalid.
     Topology(TopologyError),
+    /// The network configuration was invalid.
+    Network(ConfigError),
     /// The system layer rejected the experiment.
     System(SystemError),
     /// The workload was malformed.
@@ -21,6 +24,7 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Topology(e) => write!(f, "topology configuration invalid: {e}"),
+            CoreError::Network(e) => write!(f, "network configuration invalid: {e}"),
             CoreError::System(e) => write!(f, "system layer error: {e}"),
             CoreError::Workload(msg) => write!(f, "workload invalid: {msg}"),
         }
@@ -31,9 +35,17 @@ impl Error for CoreError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             CoreError::Topology(e) => Some(e),
+            CoreError::Network(e) => Some(e),
             CoreError::System(e) => Some(e),
             CoreError::Workload(_) => None,
         }
+    }
+}
+
+#[doc(hidden)]
+impl From<ConfigError> for CoreError {
+    fn from(e: ConfigError) -> Self {
+        CoreError::Network(e)
     }
 }
 

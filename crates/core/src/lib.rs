@@ -40,6 +40,11 @@ pub use config::{OverlayConfig, SimConfig, TopologyConfig};
 pub use error::CoreError;
 pub use simulator::{CollectiveRunReport, Simulator};
 
+// Fault-model types, re-exported so a fault plan can be authored without
+// importing the network crate directly.
+pub use astra_network::{FaultError, FaultKind, FaultPlan, LinkFault, LossSpec, Straggler};
+pub use astra_workload::FaultImpact;
+
 // Re-export the full stack for one-stop access.
 pub use astra_collectives as collectives;
 pub use astra_compute as compute;

@@ -4,7 +4,7 @@
 //! the output is uniform and machine-extractable.
 
 use astra_des::Time;
-use astra_workload::TrainingReport;
+use astra_workload::{FaultImpact, TrainingReport};
 use std::fmt::Write as _;
 
 /// A simple fixed-width text table.
@@ -172,6 +172,23 @@ pub fn training_table(report: &TrainingReport) -> Table {
     t
 }
 
+/// Renders a run's fault-recovery counters as a one-row table (append its
+/// CSV next to the figure series when sweeping fault plans).
+pub fn fault_table(impact: &FaultImpact) -> Table {
+    let mut t = Table::new(
+        ["drops", "retransmits", "reroutes", "fault_stall_cycles"]
+            .map(String::from)
+            .to_vec(),
+    );
+    t.row(vec![
+        impact.drops.to_string(),
+        impact.retransmits.to_string(),
+        impact.reroutes.to_string(),
+        impact.fault_stall_cycles.to_string(),
+    ]);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,7 +236,7 @@ mod tests {
         sim.enable_tracing();
         sim.issue_collective(CollectiveRequest::all_reduce(1 << 16))
             .unwrap();
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
         let spans = sim.trace().unwrap();
         // 4 NPUs x 2 chunks x 2 phases (local + horizontal).
         assert_eq!(spans.len(), 4 * 2 * 2);
@@ -227,6 +244,19 @@ mod tests {
         let json = chrome_trace(spans);
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["traceEvents"].as_array().unwrap().len(), spans.len());
+    }
+
+    #[test]
+    fn fault_table_round_trips_counters() {
+        let t = fault_table(&FaultImpact {
+            drops: 3,
+            retransmits: 3,
+            reroutes: 1,
+            fault_stall_cycles: 90,
+        });
+        let csv = t.to_csv();
+        assert!(csv.starts_with("drops,retransmits,reroutes,fault_stall_cycles\n"));
+        assert!(csv.contains("3,3,1,90"));
     }
 
     #[test]

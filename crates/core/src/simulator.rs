@@ -22,6 +22,13 @@ pub struct CollectiveRunReport {
     pub network: NetStats,
 }
 
+impl CollectiveRunReport {
+    /// The run's fault-recovery counters (all zero without a fault plan).
+    pub fn fault_impact(&self) -> astra_workload::FaultImpact {
+        astra_workload::FaultImpact::from_stats(&self.system, &self.network)
+    }
+}
+
 /// The end-to-end simulator: a validated configuration plus experiment
 /// drivers. See the [crate docs](crate) for an example.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,9 +41,16 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Fails if the topology configuration cannot be built.
+    /// Fails if the topology cannot be built, the network parameters are
+    /// out of range, or the fault plan is internally inconsistent. (Fault
+    /// node indices are bounds-checked against the fabric when the plan is
+    /// installed into a concrete simulation.)
     pub fn new(cfg: SimConfig) -> Result<Self, CoreError> {
         cfg.topology.build()?; // validate eagerly
+        cfg.network.validate()?;
+        if let Some(plan) = &cfg.faults {
+            plan.validate().map_err(astra_system::SystemError::from)?;
+        }
         Ok(Simulator { cfg })
     }
 
@@ -49,13 +63,13 @@ impl Simulator {
     /// instance; they are cheap).
     pub fn system_sim(&self) -> Result<SystemSim, CoreError> {
         let topo = self.cfg.topology.build()?;
-        match &self.cfg.overlay {
-            None => Ok(SystemSim::new(
+        let mut sim = match &self.cfg.overlay {
+            None => SystemSim::new(
                 topo,
                 self.cfg.system,
                 &self.cfg.network,
                 self.cfg.backend,
-            )),
+            ),
             Some(overlay) => {
                 let physical = overlay.physical.build()?;
                 let mapping = match &overlay.permutation {
@@ -70,9 +84,13 @@ impl Simulator {
                     &self.cfg.network,
                     self.cfg.backend,
                 )
-                .map_err(CoreError::System)
+                .map_err(CoreError::System)?
             }
+        };
+        if let Some(plan) = &self.cfg.faults {
+            sim.install_faults(plan).map_err(CoreError::System)?;
         }
+        Ok(sim)
     }
 
     /// Runs a bandwidth test: issues one collective and simulates until
@@ -90,7 +108,7 @@ impl Simulator {
         let n = sim.topology().num_npus();
         let mut done = 0;
         while done < n {
-            match sim.run_until_notification() {
+            match sim.run_until_notification().map_err(CoreError::System)? {
                 Some(Notification::CollectiveDone { coll, .. }) if coll == id => done += 1,
                 Some(_) => {}
                 None => {
@@ -100,7 +118,7 @@ impl Simulator {
                 }
             }
         }
-        sim.run_until_idle();
+        sim.run_until_idle().map_err(CoreError::System)?;
         let coll = sim
             .report(id)
             .expect("completed collective has a report")

@@ -12,6 +12,7 @@
 //! experiments: with FIFO links and deterministic routes, queueing is fully
 //! determined by injection order.
 
+use crate::faults::{FaultPlan, LinkWindows};
 use crate::{
     Arrival, Backend, Message, MsgId, NetEvent, NetScheduler, NetStats, NetworkConfig,
     NetworkError,
@@ -55,6 +56,10 @@ pub struct AnalyticalNet {
     index: BTreeMap<LinkKey, usize>,
     inflight: HashMap<u64, MsgState>,
     stats: NetStats,
+    /// Per-link fault windows, parallel to `links`. Empty (the default)
+    /// means no fault plan is installed and every fault check is skipped,
+    /// keeping fault-free timing bit-identical to the pre-fault model.
+    fault_windows: Vec<LinkWindows>,
 }
 
 impl AnalyticalNet {
@@ -65,7 +70,9 @@ impl AnalyticalNet {
     /// Panics if `config` fails validation (see
     /// [`NetworkConfig::validate`]).
     pub fn new(topo: &LogicalTopology, config: &NetworkConfig) -> Self {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("invalid network config: {e}");
+        }
         let mut links = Vec::new();
         let mut index = BTreeMap::new();
         for spec in topo.links() {
@@ -85,7 +92,25 @@ impl AnalyticalNet {
             index,
             inflight: HashMap::new(),
             stats,
+            fault_windows: Vec::new(),
         }
+    }
+
+    /// Fault adjustment at a hop start: pushes `start` past any hard-down
+    /// window (accounting the stall) and returns the bandwidth factor in
+    /// effect at the adjusted start. No-op `(start, 1.0)` when no plan is
+    /// installed.
+    fn apply_link_faults(&mut self, link_idx: usize, start: Time) -> (Time, f64) {
+        if self.fault_windows.is_empty() {
+            return (start, 1.0);
+        }
+        let w = &self.fault_windows[link_idx];
+        if w.is_empty() {
+            return (start, 1.0);
+        }
+        let released = w.release_after(start);
+        self.stats.fault_stall_cycles += (released - start).cycles();
+        (released, w.factor_at(released))
     }
 
     /// Number of distinct physical links.
@@ -119,34 +144,45 @@ impl AnalyticalNet {
     /// (fast link after slow link). Links are work-conserving FIFO servers
     /// in head-arrival order.
     fn start_cut_through_hop(&mut self, q: &mut dyn NetScheduler, msg_id: u64) {
-        let state = self
-            .inflight
-            .get_mut(&msg_id)
-            .expect("start_cut_through_hop on unknown message");
-        let link_idx = state.path[state.hop];
-        let link = &mut self.links[link_idx];
-        let class = link.class;
+        let (link_idx, hop, bytes, path_len, prev_finish, prev_latency) = {
+            let s = self
+                .inflight
+                .get(&msg_id)
+                .expect("start_cut_through_hop on unknown message");
+            (
+                s.path[s.hop],
+                s.hop,
+                s.msg.bytes,
+                s.path.len(),
+                s.prev_finish,
+                s.prev_latency,
+            )
+        };
+        let class = self.links[link_idx].class;
         let params = *self.config.link(class);
+        let raw_start = q.now().max(self.links[link_idx].busy_until);
+        let (start, factor) = self.apply_link_faults(link_idx, raw_start);
         let ser = self
             .config
             .clock
-            .serialization_time(params.wire_bytes(state.msg.bytes), params.gbps);
-        let start = q.now().max(link.busy_until);
+            .serialization_time(params.wire_bytes(bytes), params.gbps * factor);
         // Tail constraint: cannot finish before the tail drained upstream.
-        let tail_arrival = if state.hop == 0 {
+        let tail_arrival = if hop == 0 {
             Time::ZERO
         } else {
-            state.prev_finish + state.prev_latency
+            prev_finish + prev_latency
         };
         let finish = (start + ser).max(tail_arrival);
-        link.busy_until = finish;
-        if state.hop == 0 {
-            state.first_tx_start = start;
+        self.links[link_idx].busy_until = finish;
+        {
+            let s = self.inflight.get_mut(&msg_id).expect("just looked up");
+            if hop == 0 {
+                s.first_tx_start = start;
+            }
+            s.prev_finish = finish;
+            s.prev_latency = params.latency;
         }
-        state.prev_finish = finish;
-        state.prev_latency = params.latency;
-        let last = state.hop + 1 == state.path.len();
-        let bytes = state.msg.bytes;
+        let last = hop + 1 == path_len;
         self.stats.record_hop(link_idx, class, bytes, ser);
         if last {
             // Delivery when the tail reaches the destination.
@@ -163,22 +199,29 @@ impl AnalyticalNet {
     /// Starts serializing the current hop of `msg_id`; schedules its arrival
     /// at the downstream node.
     fn start_hop(&mut self, q: &mut dyn NetScheduler, msg_id: u64) {
-        let state = self
-            .inflight
-            .get_mut(&msg_id)
-            .expect("start_hop on unknown message");
-        let link_idx = state.path[state.hop];
-        let link = &mut self.links[link_idx];
-        let params = self.config.link(link.class);
-        let wire = params.wire_bytes(state.msg.bytes);
-        let ser = self.config.clock.serialization_time(wire, params.gbps);
-        let start = q.now().max(link.busy_until);
-        link.busy_until = start + ser;
-        if state.hop == 0 {
-            state.first_tx_start = start;
+        let (link_idx, hop, payload) = {
+            let s = self
+                .inflight
+                .get(&msg_id)
+                .expect("start_hop on unknown message");
+            (s.path[s.hop], s.hop, s.msg.bytes)
+        };
+        let class = self.links[link_idx].class;
+        let params = *self.config.link(class);
+        let wire = params.wire_bytes(payload);
+        let raw_start = q.now().max(self.links[link_idx].busy_until);
+        let (start, factor) = self.apply_link_faults(link_idx, raw_start);
+        let ser = self
+            .config
+            .clock
+            .serialization_time(wire, params.gbps * factor);
+        self.links[link_idx].busy_until = start + ser;
+        if hop == 0 {
+            self.inflight
+                .get_mut(&msg_id)
+                .expect("just looked up")
+                .first_tx_start = start;
         }
-        let class = link.class;
-        let payload = state.msg.bytes;
         let arrive_at = start + ser + params.latency;
         self.stats.record_hop(link_idx, class, payload, ser);
         q.schedule_at(arrive_at, NetEvent::HopArrive { msg: MsgId(msg_id) });
@@ -270,6 +313,134 @@ impl Backend for AnalyticalNet {
 
     fn in_flight(&self) -> usize {
         self.inflight.len()
+    }
+
+    fn install_link_faults(&mut self, plan: &FaultPlan) {
+        if plan.link_faults.is_empty() {
+            self.fault_windows.clear();
+            return;
+        }
+        let mut windows = vec![LinkWindows::default(); self.links.len()];
+        for (&(from, to, _dim, _ring), &idx) in &self.index {
+            windows[idx] = plan.windows_for(NodeId(from), NodeId(to));
+        }
+        self.fault_windows = windows;
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::faults::{FaultKind, LinkFault};
+    use astra_des::{Clock, EventQueue};
+    use astra_topology::{Dim, Torus3d};
+
+    fn simple_ring() -> (LogicalTopology, NetworkConfig) {
+        let topo = LogicalTopology::torus(Torus3d::new(1, 4, 1, 1, 1, 1).unwrap());
+        let mut cfg = NetworkConfig {
+            clock: Clock::GHZ1,
+            ..NetworkConfig::default()
+        };
+        cfg.package.gbps = 10.0;
+        cfg.package.latency = Time::from_cycles(5);
+        cfg.package.efficiency = 1.0;
+        cfg.package.packet_bytes = 1;
+        (topo, cfg)
+    }
+
+    fn one_send(plan: Option<&FaultPlan>) -> (Arrival, u64) {
+        let (topo, cfg) = simple_ring();
+        let mut net = AnalyticalNet::new(&topo, &cfg);
+        if let Some(p) = plan {
+            net.install_link_faults(p);
+        }
+        let mut q = EventQueue::new();
+        let route = topo.ring_route(Dim::Horizontal, 0, NodeId(0), 1).unwrap();
+        net.send(&mut q, Message::new(0, NodeId(0), NodeId(1), 100, 0), route)
+            .unwrap();
+        let mut out = Vec::new();
+        while let Some((_, ev)) = q.pop() {
+            net.handle(&mut q, ev, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        (out[0], net.stats().fault_stall_cycles)
+    }
+
+    fn fault(kind: FaultKind, start: u64, end: u64) -> LinkFault {
+        LinkFault {
+            from: NodeId(0),
+            to: NodeId(1),
+            kind,
+            start: Time::from_cycles(start),
+            end: Time::from_cycles(end),
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical() {
+        let (clean, _) = one_send(None);
+        let (with_empty, stalls) = one_send(Some(&FaultPlan::default()));
+        assert_eq!(clean, with_empty);
+        assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn down_window_delays_hop_start() {
+        let plan = FaultPlan {
+            link_faults: vec![fault(FaultKind::Down, 0, 100)],
+            ..FaultPlan::default()
+        };
+        let (arr, stalls) = one_send(Some(&plan));
+        // Transmission starts when the link comes back at cycle 100:
+        // 100 + 10 ser + 5 latency.
+        assert_eq!(arr.first_tx_start, Time::from_cycles(100));
+        assert_eq!(arr.delivered, Time::from_cycles(115));
+        assert_eq!(stalls, 100);
+    }
+
+    #[test]
+    fn degrade_window_scales_bandwidth() {
+        let plan = FaultPlan {
+            link_faults: vec![fault(FaultKind::Degrade { factor: 0.5 }, 0, 1_000)],
+            ..FaultPlan::default()
+        };
+        let (arr, stalls) = one_send(Some(&plan));
+        // 100 B at 5 B/cyc = 20 cyc ser + 5 latency.
+        assert_eq!(arr.delivered, Time::from_cycles(25));
+        assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn fault_is_directional() {
+        let plan = FaultPlan {
+            link_faults: vec![LinkFault {
+                from: NodeId(1),
+                to: NodeId(0),
+                kind: FaultKind::Down,
+                start: Time::ZERO,
+                end: Time::from_cycles(1_000),
+            }],
+            ..FaultPlan::default()
+        };
+        // 0 -> 1 is unaffected by the reverse-direction outage.
+        let (arr, stalls) = one_send(Some(&plan));
+        assert_eq!(arr.delivered, Time::from_cycles(15));
+        assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn expired_window_has_no_effect() {
+        // The message injects at cycle 0; a window that ended "earlier"
+        // can't exist before 0, so use a window that starts after the
+        // transmission already began.
+        let plan = FaultPlan {
+            link_faults: vec![fault(FaultKind::Down, 50, 100)],
+            ..FaultPlan::default()
+        };
+        let (arr, stalls) = one_send(Some(&plan));
+        // Hop starts at 0, before the outage: unaffected.
+        assert_eq!(arr.delivered, Time::from_cycles(15));
+        assert_eq!(stalls, 0);
     }
 }
 

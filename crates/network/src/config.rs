@@ -3,6 +3,65 @@
 use astra_des::{Clock, Time};
 use astra_topology::LinkClass;
 use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Why a [`NetworkConfig`] (or one of its [`LinkParams`]) was rejected.
+///
+/// Each variant carries the offending value so the message tells the user
+/// what to fix, not just that something is wrong.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// Bandwidth is zero, negative or non-finite.
+    BadBandwidth {
+        /// Which link class carried the bad value.
+        class: LinkClass,
+        /// The offending bandwidth.
+        gbps: f64,
+    },
+    /// Efficiency is outside `(0, 1]`.
+    BadEfficiency {
+        /// Which link class carried the bad value.
+        class: LinkClass,
+        /// The offending efficiency.
+        efficiency: f64,
+    },
+    /// Packet size is zero.
+    ZeroPacketBytes {
+        /// Which link class carried the bad value.
+        class: LinkClass,
+    },
+    /// Flit width is zero (garnet backend).
+    ZeroFlitWidth,
+    /// No virtual channels configured (garnet backend).
+    ZeroVcs,
+    /// No flit buffers per VC configured (garnet backend).
+    ZeroVcBuffers,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadBandwidth { class, gbps } => write!(
+                f,
+                "{class} link bandwidth must be a positive finite GB/s value, got {gbps}"
+            ),
+            ConfigError::BadEfficiency { class, efficiency } => write!(
+                f,
+                "{class} link efficiency must be in (0, 1], got {efficiency}"
+            ),
+            ConfigError::ZeroPacketBytes { class } => {
+                write!(f, "{class} link packet size must be at least 1 byte")
+            }
+            ConfigError::ZeroFlitWidth => write!(f, "flit width must be at least 1 byte"),
+            ConfigError::ZeroVcs => write!(f, "need at least one virtual channel per vnet"),
+            ConfigError::ZeroVcBuffers => write!(f, "need at least one flit buffer per VC"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// How packets traverse multi-hop routes (`packet-routing`, Table III
 /// row 14).
@@ -39,22 +98,29 @@ pub struct LinkParams {
 }
 
 impl LinkParams {
-    /// Validates the parameter combination.
+    /// Validates the parameter combination for use as `class` links.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if bandwidth/efficiency/packet size are out of range; these
-    /// are programming errors in experiment setup, not runtime conditions.
-    pub fn validate(&self) {
-        assert!(
-            self.gbps.is_finite() && self.gbps > 0.0,
-            "link bandwidth must be positive"
-        );
-        assert!(
-            self.efficiency > 0.0 && self.efficiency <= 1.0,
-            "link efficiency must be in (0, 1]"
-        );
-        assert!(self.packet_bytes > 0, "packet size must be positive");
+    /// Rejects zero/negative/non-finite bandwidth, efficiency outside
+    /// `(0, 1]`, and zero packet size, naming the offending value.
+    pub fn validate(&self, class: LinkClass) -> Result<(), ConfigError> {
+        if !(self.gbps.is_finite() && self.gbps > 0.0) {
+            return Err(ConfigError::BadBandwidth {
+                class,
+                gbps: self.gbps,
+            });
+        }
+        if !(self.efficiency > 0.0 && self.efficiency <= 1.0) {
+            return Err(ConfigError::BadEfficiency {
+                class,
+                efficiency: self.efficiency,
+            });
+        }
+        if self.packet_bytes == 0 {
+            return Err(ConfigError::ZeroPacketBytes { class });
+        }
+        Ok(())
     }
 
     /// Bytes the message occupies on the wire: payload divided by the
@@ -113,16 +179,24 @@ impl NetworkConfig {
 
     /// Validates all parameters.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on out-of-range values (see [`LinkParams::validate`]).
-    pub fn validate(&self) {
-        self.local.validate();
-        self.package.validate();
-        self.scale_out.validate();
-        assert!(self.flit_bytes > 0, "flit width must be positive");
-        assert!(self.vcs_per_vnet > 0, "need at least one VC");
-        assert!(self.buffers_per_vc > 0, "need at least one buffer per VC");
+    /// Returns the first out-of-range value (see [`LinkParams::validate`]),
+    /// or a zero flit width / VC count / buffer count.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.local.validate(LinkClass::Local)?;
+        self.package.validate(LinkClass::Package)?;
+        self.scale_out.validate(LinkClass::ScaleOut)?;
+        if self.flit_bytes == 0 {
+            return Err(ConfigError::ZeroFlitWidth);
+        }
+        if self.vcs_per_vnet == 0 {
+            return Err(ConfigError::ZeroVcs);
+        }
+        if self.buffers_per_vc == 0 {
+            return Err(ConfigError::ZeroVcBuffers);
+        }
+        Ok(())
     }
 }
 
@@ -174,7 +248,7 @@ mod tests {
         assert_eq!(c.flit_bytes, 128);
         assert_eq!(c.vcs_per_vnet, 50);
         assert_eq!(c.buffers_per_vc, 5000);
-        c.validate();
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -200,10 +274,64 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "efficiency")]
-    fn invalid_efficiency_panics() {
+    fn invalid_values_rejected_with_actionable_messages() {
         let mut c = NetworkConfig::default();
         c.local.efficiency = 1.5;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::BadEfficiency {
+                class: LinkClass::Local,
+                efficiency: 1.5
+            }
+        );
+        assert!(err.to_string().contains("(0, 1]"), "got: {err}");
+
+        let mut c = NetworkConfig::default();
+        c.package.gbps = 0.0;
+        let err = c.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::BadBandwidth {
+                class: LinkClass::Package,
+                ..
+            }
+        ));
+        assert!(err.to_string().contains("positive finite"), "got: {err}");
+
+        let mut c = NetworkConfig::default();
+        c.scale_out.gbps = -3.0;
+        assert!(c.validate().is_err());
+
+        let mut c = NetworkConfig::default();
+        c.scale_out.gbps = f64::NAN;
+        assert!(c.validate().is_err());
+
+        let mut c = NetworkConfig::default();
+        c.local.packet_bytes = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::ZeroPacketBytes {
+                class: LinkClass::Local
+            })
+        ));
+
+        let c = NetworkConfig {
+            flit_bytes: 0,
+            ..NetworkConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroFlitWidth));
+
+        let c = NetworkConfig {
+            vcs_per_vnet: 0,
+            ..NetworkConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroVcs));
+
+        let c = NetworkConfig {
+            buffers_per_vc: 0,
+            ..NetworkConfig::default()
+        };
+        assert_eq!(c.validate(), Err(ConfigError::ZeroVcBuffers));
     }
 }

@@ -34,6 +34,7 @@
 
 mod flit;
 
+use crate::faults::{FaultPlan, LinkWindows};
 use crate::{
     Arrival, Backend, Message, NetEvent, NetScheduler, NetStats, NetworkConfig, NetworkError,
 };
@@ -60,6 +61,10 @@ struct GLink {
     busy: bool,
     rr_cursor: usize,
     vcs: Vec<VcState>,
+    /// End of the latest hard-down window a transmit attempt has already
+    /// been rescheduled past (deduplicates retry probes and stall
+    /// accounting while the link is out).
+    stalled_until: Time,
 }
 
 #[derive(Debug)]
@@ -81,6 +86,9 @@ pub struct GarnetNet {
     messages: HashMap<u64, GMsgState>,
     next_packet_id: u64,
     stats: NetStats,
+    /// Per-link fault windows, parallel to `links`; empty means no plan is
+    /// installed and the fault path is never taken.
+    fault_windows: Vec<LinkWindows>,
 }
 
 impl GarnetNet {
@@ -90,7 +98,9 @@ impl GarnetNet {
     ///
     /// Panics if `config` fails validation.
     pub fn new(topo: &LogicalTopology, config: &NetworkConfig) -> Self {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("invalid network config: {e}");
+        }
         let mut links = Vec::new();
         let mut index = BTreeMap::new();
         for spec in topo.links() {
@@ -106,6 +116,7 @@ impl GarnetNet {
                             credits: config.buffers_per_vc,
                         })
                         .collect(),
+                    stalled_until: Time::ZERO,
                 });
                 links.len() - 1
             });
@@ -119,6 +130,7 @@ impl GarnetNet {
             messages: HashMap::new(),
             next_packet_id: 0,
             stats,
+            fault_windows: Vec::new(),
         }
     }
 
@@ -144,9 +156,43 @@ impl GarnetNet {
             .collect()
     }
 
-    fn flit_ser_time(&self, class: LinkClass) -> Time {
-        let bpc = self.config.clock.bytes_per_cycle(self.config.link(class).gbps);
+    /// Serialization time of one flit on `class` links at `factor` × the
+    /// nominal bandwidth (`factor` is 1.0 outside degradation windows).
+    fn flit_ser_time(&self, class: LinkClass, factor: f64) -> Time {
+        let bpc = self
+            .config
+            .clock
+            .bytes_per_cycle(self.config.link(class).gbps * factor);
         Time::from_cycles(((self.config.flit_bytes as f64) / bpc).ceil().max(1.0) as u64)
+    }
+
+    /// Fault gate for a transmit attempt at `now`: inside a hard-down window
+    /// the link transmits nothing — a retry probe is scheduled for the end
+    /// of the outage (once; `stalled_until` deduplicates) — otherwise the
+    /// active bandwidth factor is returned.
+    fn fault_gate(&mut self, q: &mut dyn NetScheduler, link_idx: usize) -> Option<f64> {
+        if self.fault_windows.is_empty() {
+            return Some(1.0);
+        }
+        let w = &self.fault_windows[link_idx];
+        if w.is_empty() {
+            return Some(1.0);
+        }
+        let now = q.now();
+        let released = w.release_after(now);
+        if released > now {
+            let has_work = self.links[link_idx]
+                .vcs
+                .iter()
+                .any(|vc| !vc.queue.is_empty() && vc.credits > 0);
+            if has_work && self.links[link_idx].stalled_until < released {
+                self.links[link_idx].stalled_until = released;
+                self.stats.fault_stall_cycles += (released - now).cycles();
+                q.schedule_at(released, NetEvent::LinkReady { link: link_idx });
+            }
+            return None;
+        }
+        Some(w.factor_at(now))
     }
 
     /// Attempts to put the next flit on the wire of `link_idx`.
@@ -154,6 +200,9 @@ impl GarnetNet {
         if self.links[link_idx].busy {
             return;
         }
+        let Some(factor) = self.fault_gate(q, link_idx) else {
+            return;
+        };
         let nvcs = self.links[link_idx].vcs.len();
         let start = self.links[link_idx].rr_cursor;
         let mut chosen = None;
@@ -172,7 +221,7 @@ impl GarnetNet {
         link.vcs[vc].credits -= 1;
         link.busy = true;
         let class = link.class;
-        let ser = self.flit_ser_time(class);
+        let ser = self.flit_ser_time(class, factor);
         let latency = self.config.link(class).latency;
         self.stats
             .record_hop(link_idx, class, self.config.flit_bytes, ser);
@@ -388,6 +437,106 @@ impl Backend for GarnetNet {
 
     fn in_flight(&self) -> usize {
         self.messages.len()
+    }
+
+    fn install_link_faults(&mut self, plan: &FaultPlan) {
+        if plan.link_faults.is_empty() {
+            self.fault_windows.clear();
+            return;
+        }
+        let mut windows = vec![LinkWindows::default(); self.links.len()];
+        for (&(from, to, _dim, _ring), &idx) in &self.index {
+            windows[idx] = plan.windows_for(NodeId(from), NodeId(to));
+        }
+        self.fault_windows = windows;
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::faults::{FaultKind, LinkFault};
+    use astra_des::{Clock, EventQueue};
+    use astra_topology::{Dim, Torus3d};
+
+    fn ring_cfg() -> (LogicalTopology, NetworkConfig) {
+        let topo = LogicalTopology::torus(Torus3d::new(1, 4, 1, 1, 1, 1).unwrap());
+        let cfg = NetworkConfig {
+            clock: Clock::GHZ1,
+            package: crate::LinkParams {
+                gbps: 32.0, // 32 B/cyc -> 4 cycles per 128 B flit
+                latency: Time::from_cycles(10),
+                efficiency: 0.94,
+                packet_bytes: 256,
+            },
+            vcs_per_vnet: 2,
+            buffers_per_vc: 4,
+            router_latency: Time::from_cycles(1),
+            ..NetworkConfig::default()
+        };
+        (topo, cfg)
+    }
+
+    fn one_send(plan: Option<&FaultPlan>) -> (Arrival, u64) {
+        let (topo, cfg) = ring_cfg();
+        let mut net = GarnetNet::new(&topo, &cfg);
+        if let Some(p) = plan {
+            net.install_link_faults(p);
+        }
+        let mut q = EventQueue::new();
+        let route = topo.ring_route(Dim::Horizontal, 0, NodeId(0), 1).unwrap();
+        net.send(&mut q, Message::new(0, NodeId(0), NodeId(1), 1, 0), route)
+            .unwrap();
+        let mut out = Vec::new();
+        while let Some((_, ev)) = q.pop() {
+            net.handle(&mut q, ev, &mut out);
+        }
+        assert_eq!(out.len(), 1);
+        (out[0], net.stats().fault_stall_cycles)
+    }
+
+    fn fault(kind: FaultKind, start: u64, end: u64) -> LinkFault {
+        LinkFault {
+            from: NodeId(0),
+            to: NodeId(1),
+            kind,
+            start: Time::from_cycles(start),
+            end: Time::from_cycles(end),
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical() {
+        let (clean, _) = one_send(None);
+        let (with_empty, stalls) = one_send(Some(&FaultPlan::default()));
+        assert_eq!(clean, with_empty);
+        assert_eq!(stalls, 0);
+    }
+
+    #[test]
+    fn down_window_postpones_flits() {
+        let plan = FaultPlan {
+            link_faults: vec![fault(FaultKind::Down, 0, 50)],
+            ..FaultPlan::default()
+        };
+        let (arr, stalls) = one_send(Some(&plan));
+        // The fault-free delivery is at cycle 18 (see the main test module);
+        // with the link down for the first 50 cycles everything shifts by 50.
+        assert_eq!(arr.delivered, Time::from_cycles(68));
+        assert_eq!(stalls, 50);
+    }
+
+    #[test]
+    fn degrade_window_slows_flits() {
+        let plan = FaultPlan {
+            link_faults: vec![fault(FaultKind::Degrade { factor: 0.5 }, 0, 1_000)],
+            ..FaultPlan::default()
+        };
+        let (arr, stalls) = one_send(Some(&plan));
+        // Half bandwidth: 8 cyc per flit. flit0 [0,8) arrives 18;
+        // flit1 [8,16) arrives 26.
+        assert_eq!(arr.delivered, Time::from_cycles(26));
+        assert_eq!(stalls, 0);
     }
 }
 

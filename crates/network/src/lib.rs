@@ -53,13 +53,15 @@
 mod analytical;
 mod config;
 mod error;
+pub mod faults;
 pub mod garnet;
 mod message;
 mod stats;
 
 pub use analytical::AnalyticalNet;
-pub use config::{LinkParams, NetworkConfig, RoutingMode};
+pub use config::{ConfigError, LinkParams, NetworkConfig, RoutingMode};
 pub use error::NetworkError;
+pub use faults::{FaultError, FaultKind, FaultPlan, LinkFault, LinkWindows, LossSpec, Straggler};
 pub use garnet::GarnetNet;
 pub use message::{Arrival, Message, MsgId};
 pub use stats::{LinkStats, NetStats};
@@ -167,4 +169,13 @@ pub trait Backend {
 
     /// Number of messages currently in flight.
     fn in_flight(&self) -> usize;
+
+    /// Installs the link faults of `plan`: hard-down windows delay
+    /// transmissions past the outage; degradation windows scale link
+    /// bandwidth. Installing an empty plan is a no-op and leaves the
+    /// backend's timing bit-identical to never calling this at all.
+    ///
+    /// The default implementation ignores the plan, so backends that model
+    /// no link state remain valid `Backend`s.
+    fn install_link_faults(&mut self, _plan: &FaultPlan) {}
 }

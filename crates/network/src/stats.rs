@@ -45,6 +45,9 @@ pub struct NetStats {
     pub latency: RunningStats,
     /// Source queueing delay distribution (cycles).
     pub source_queueing: RunningStats,
+    /// Cycles transmissions spent stalled behind hard-down fault windows
+    /// (0 unless a fault plan with link outages is installed).
+    pub fault_stall_cycles: u64,
     /// Per-link counters, indexed by the backend's dense link index.
     pub links: Vec<LinkStats>,
 }

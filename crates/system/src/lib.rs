@@ -48,7 +48,7 @@
 //! );
 //! let coll = sim.issue_collective(CollectiveRequest::all_reduce(1 << 20))?;
 //! let mut done = 0;
-//! while let Some(n) = sim.run_until_notification() {
+//! while let Some(n) = sim.run_until_notification()? {
 //!     if let Notification::CollectiveDone { coll: c, .. } = n {
 //!         assert_eq!(c, coll);
 //!         done += 1;

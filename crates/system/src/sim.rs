@@ -6,14 +6,17 @@ use crate::{
     SystemError, SystemStats, Tag,
 };
 use astra_collectives::{
-    plan_with_intra, Algorithm, CollectiveOp, CollectivePlan, PhaseMachine, SendCmd, Target,
+    plan_with_intra, Algorithm, CollectiveError, CollectiveOp, CollectivePlan, PhaseMachine,
+    SendCmd, Target,
 };
+use astra_des::rng::SplitMix64;
 use astra_des::{EventQueue, Time};
 use astra_network::{
-    AnalyticalNet, Arrival, Backend, GarnetNet, Message, NetEvent, NetScheduler, NetworkConfig,
+    AnalyticalNet, Arrival, Backend, FaultError, FaultPlan, GarnetNet, Message, MsgId, NetEvent,
+    NetScheduler, NetworkConfig,
 };
 use astra_topology::{Dim, LogicalTopology, Mapping, NodeId, PathFinder, Route};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
 /// Handle of an issued collective.
@@ -109,6 +112,9 @@ enum SysEvent {
     Callback(u64),
     /// A paced message injection (`injection-policy: normal`).
     Inject(Box<(Message, Route)>),
+    /// Retransmission of a scale-out message dropped by lossy transport;
+    /// the counter is the number of prior transmissions of this payload.
+    Retransmit(Box<(Message, Route, u32)>),
 }
 
 /// Wrapper giving backends scheduling access to the master queue.
@@ -133,6 +139,10 @@ struct ChunkState {
     /// Messages that arrived before this NPU entered their phase
     /// (neighbors can run ahead): (phase, step), drained at phase entry.
     pending: Vec<(u8, u32)>,
+    /// Current-phase steps that overtook a predecessor still in flight
+    /// behind a retransmission or reroute (only possible under a fault
+    /// plan); retried after each successful receive.
+    deferred: Vec<u32>,
     done: bool,
 }
 
@@ -159,6 +169,9 @@ struct Overlay {
     /// physical NPU id -> logical NPU id.
     inverse: Vec<usize>,
     finder: PathFinder,
+    /// The physical fabric itself, kept for rebuilding exclusion routers
+    /// when links go down mid-run.
+    physical: LogicalTopology,
 }
 
 impl fmt::Debug for Overlay {
@@ -197,6 +210,15 @@ pub struct SystemSim {
     next_msg: u64,
     next_cb: u64,
     arrivals_scratch: Vec<Arrival>,
+    /// Installed fault plan (empty by default, which disables every fault
+    /// code path below).
+    faults: FaultPlan,
+    /// Seeded RNG for loss decisions; reseeded from the plan on install.
+    loss_rng: SplitMix64,
+    /// Messages injected but destined to drop: their arrival is discarded.
+    doomed: HashSet<MsgId>,
+    /// Exclusion pathfinder cached for the current set of down links.
+    reroute_cache: Option<(Vec<(NodeId, NodeId)>, PathFinder)>,
 }
 
 impl fmt::Debug for SystemSim {
@@ -260,6 +282,10 @@ impl SystemSim {
             next_msg: 0,
             next_cb: 0,
             arrivals_scratch: Vec::new(),
+            faults: FaultPlan::default(),
+            loss_rng: SplitMix64::new(0),
+            doomed: HashSet::new(),
+            reroute_cache: None,
         }
     }
 
@@ -306,8 +332,53 @@ impl SystemSim {
             mapping,
             inverse,
             finder,
+            physical: physical.clone(),
         });
         Ok(sim)
+    }
+
+    /// Installs a deterministic fault plan: link outage/degradation windows
+    /// go to the network backend, loss parameters arm the retransmission
+    /// machinery, and stragglers are exposed to the compute/workload layers
+    /// through [`SystemSim::faults`]. All loss randomness derives from the
+    /// plan's seed, so a `(seed, plan)` pair replays cycle-identically;
+    /// installing `FaultPlan::default()` is equivalent to never calling
+    /// this.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the plan's values are out of range or reference nodes the
+    /// fabric does not have.
+    pub fn install_faults(&mut self, plan: &FaultPlan) -> Result<(), SystemError> {
+        let physical = self
+            .overlay
+            .as_ref()
+            .map(|o| &o.physical)
+            .unwrap_or(&self.topo);
+        plan.validate_for(physical.num_network_nodes())?;
+        // Link faults may name switches; stragglers are NPUs only.
+        let num_npus = self.topo.num_npus();
+        for s in &plan.stragglers {
+            if s.npu >= num_npus {
+                return Err(FaultError::NodeOutOfRange {
+                    what: "straggler",
+                    node: s.npu,
+                    num_nodes: num_npus,
+                }
+                .into());
+            }
+        }
+        self.net.install_link_faults(plan);
+        self.faults = plan.clone();
+        self.loss_rng = SplitMix64::new(plan.seed);
+        self.reroute_cache = None;
+        Ok(())
+    }
+
+    /// The installed fault plan (empty unless
+    /// [`SystemSim::install_faults`] was called).
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Current simulation time.
@@ -393,6 +464,7 @@ impl SystemSim {
                         entered_phase_at: Time::ZERO,
                         machine: None,
                         pending: Vec::new(),
+                        deferred: Vec::new(),
                         done: false,
                     })
                     .collect(),
@@ -439,7 +511,7 @@ impl SystemSim {
             }
         }
         for npu in 0..self.npus.len() {
-            self.maybe_dispatch(npu);
+            self.maybe_dispatch(npu)?;
         }
         Ok(CollId(id))
     }
@@ -455,38 +527,62 @@ impl SystemSim {
 
     /// Processes events until a notification is available (returning it) or
     /// the simulation drains (returning `None`).
-    pub fn run_until_notification(&mut self) -> Option<Notification> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error raised while processing events; see
+    /// [`SystemSim::step`].
+    pub fn run_until_notification(&mut self) -> Result<Option<Notification>, SystemError> {
         loop {
             if let Some(n) = self.notifications.pop_front() {
-                return Some(n);
+                return Ok(Some(n));
             }
-            if !self.step() {
-                return self.notifications.pop_front();
+            if !self.step()? {
+                return Ok(self.notifications.pop_front());
             }
         }
     }
 
     /// Runs until no events remain; returns the final time. Any pending
     /// notifications stay queued for [`SystemSim::run_until_notification`].
-    pub fn run_until_idle(&mut self) -> Time {
-        while self.step() {}
-        self.now()
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error raised while processing events; see
+    /// [`SystemSim::step`].
+    pub fn run_until_idle(&mut self) -> Result<Time, SystemError> {
+        while self.step()? {}
+        Ok(self.now())
     }
 
-    /// Processes a single event. Returns `false` when the queue is empty.
-    pub fn step(&mut self) -> bool {
+    /// Processes a single event. Returns `Ok(false)` when the queue is
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Fails on route-synthesis or protocol violations (system-layer bugs
+    /// surfaced as typed errors), on [`SystemError::Unreachable`] when down
+    /// links disconnect a sender from its destination, and on
+    /// [`SystemError::RetriesExhausted`] when lossy transport defeats the
+    /// retransmission budget.
+    pub fn step(&mut self) -> Result<bool, SystemError> {
         let Some((_, ev)) = self.queue.pop() else {
-            return false;
+            return Ok(false);
         };
         match ev {
             SysEvent::Net(nev) => {
                 let mut arrivals = std::mem::take(&mut self.arrivals_scratch);
                 arrivals.clear();
                 self.net.handle(&mut NetQ(&mut self.queue), nev, &mut arrivals);
+                let mut result = Ok(());
                 for a in &arrivals {
-                    self.on_arrival(*a);
+                    result = self.on_arrival(*a);
+                    if result.is_err() {
+                        break;
+                    }
                 }
                 self.arrivals_scratch = arrivals;
+                result?;
             }
             SysEvent::EndpointDone {
                 npu,
@@ -494,7 +590,7 @@ impl SystemSim {
                 chunk,
                 phase,
                 step,
-            } => self.on_endpoint_done(npu as usize, coll, chunk, phase, step),
+            } => self.on_endpoint_done(npu as usize, coll, chunk, phase, step)?,
             SysEvent::Callback(id) => {
                 let time = self.now();
                 self.notifications.push_back(Notification::Callback {
@@ -504,12 +600,14 @@ impl SystemSim {
             }
             SysEvent::Inject(boxed) => {
                 let (msg, route) = *boxed;
-                self.net
-                    .send(&mut NetQ(&mut self.queue), msg, route)
-                    .expect("system layer produced an invalid route");
+                self.send_now(msg, route, 0)?;
+            }
+            SysEvent::Retransmit(boxed) => {
+                let (msg, route, attempt) = *boxed;
+                self.send_now(msg, route, attempt)?;
             }
         }
-        true
+        Ok(true)
     }
 
     /// Number of events processed so far.
@@ -521,9 +619,9 @@ impl SystemSim {
 
     /// Fig 7's dispatcher: if fewer than T chunks are in their first phase,
     /// issue up to P chunks from the ready queue.
-    fn maybe_dispatch(&mut self, npu: usize) {
+    fn maybe_dispatch(&mut self, npu: usize) -> Result<(), SystemError> {
         if self.npus[npu].active_first_phase >= self.cfg.dispatcher_threshold {
-            return;
+            return Ok(());
         }
         for _ in 0..self.cfg.dispatcher_batch {
             let Some((coll, chunk, pushed)) = self.npus[npu].ready.pop_front() else {
@@ -535,14 +633,18 @@ impl SystemSim {
                 cs.report.ready_delay.record_time(wait);
             }
             self.npus[npu].active_first_phase += 1;
-            self.enter_phase(npu, coll, chunk, 0);
+            self.enter_phase(npu, coll, chunk, 0)?;
         }
+        Ok(())
     }
 
     /// Moves a chunk into phase `phase`: builds the machine, issues initial
     /// sends, drains any early-arrived messages.
-    fn enter_phase(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8) {
-        let cs = self.colls.get_mut(&coll).expect("collective exists");
+    fn enter_phase(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8) -> Result<(), SystemError> {
+        let cs = self
+            .colls
+            .get_mut(&coll)
+            .ok_or(SystemError::UnknownCollective { coll })?;
         let spec = cs.plan.phases()[phase as usize];
         let chunk_state = &mut cs.per_npu[npu].chunks[chunk as usize];
         chunk_state.phase = phase;
@@ -561,66 +663,57 @@ impl SystemSim {
         chunk_state.pending.retain(|(p, _)| *p != phase);
         early.sort_unstable();
 
-        self.issue_sends(npu, coll, chunk, phase, &sends);
+        self.issue_sends(npu, coll, chunk, phase, &sends)?;
         for step in early {
-            self.schedule_endpoint(npu, coll, chunk, phase, step);
+            self.schedule_endpoint(npu, coll, chunk, phase, step)?;
         }
+        Ok(())
     }
 
     /// Resolves and injects a batch of sends from a phase machine.
-    fn issue_sends(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8, sends: &[SendCmd]) {
+    fn issue_sends(
+        &mut self,
+        npu: usize,
+        coll: u64,
+        chunk: u32,
+        phase: u8,
+        sends: &[SendCmd],
+    ) -> Result<(), SystemError> {
         if sends.is_empty() {
-            return;
+            return Ok(());
         }
-        let cs = self.colls.get(&coll).expect("collective exists");
+        let cs = self
+            .colls
+            .get(&coll)
+            .ok_or(SystemError::UnknownCollective { coll })?;
         let spec = cs.plan.phases()[phase as usize];
         let channel = chunk as usize % spec.concurrency.max(1);
         let me = NodeId(npu);
-        let routes: Vec<(Route, u64, u32)> = sends
-            .iter()
-            .map(|s| {
-                let route = match s.target {
-                    Target::RingNext => self
-                        .topo
-                        .ring_route(spec.dim, channel, me, 1)
-                        .expect("phase dim ring exists"),
-                    Target::RingDistance(d) => self
-                        .topo
-                        .ring_route(spec.dim, channel, me, d)
-                        .expect("distance within ring"),
-                    Target::GroupOffset(off) => {
-                        let group = self
-                            .topo
-                            .ring(spec.dim, channel, me)
-                            .expect("phase dim group exists");
-                        let dst = group.ahead(me, off).expect("member of own group");
-                        self.topo
-                            .switch_route(me, dst, channel)
-                            .expect("switch route exists for direct phase")
+        let mut routes: Vec<(Route, u64, u32)> = Vec::with_capacity(sends.len());
+        for s in sends {
+            let route = match s.target {
+                Target::RingNext => self.topo.ring_route(spec.dim, channel, me, 1)?,
+                Target::RingDistance(d) => self.topo.ring_route(spec.dim, channel, me, d)?,
+                Target::GroupOffset(off) => {
+                    let group = self.topo.ring(spec.dim, channel, me)?;
+                    let dst = group.ahead(me, off)?;
+                    self.topo.switch_route(me, dst, channel)?
+                }
+                Target::GroupXor(mask) => {
+                    let group = self.topo.ring(spec.dim, channel, me)?;
+                    let pos = group.position(me)?;
+                    let partner = group.members()[pos ^ mask];
+                    if spec.on_rings {
+                        // Software-routed along the ring direction.
+                        let dist = ((pos ^ mask) + group.size() - pos) % group.size();
+                        self.topo.ring_route(spec.dim, channel, me, dist)?
+                    } else {
+                        self.topo.switch_route(me, partner, channel)?
                     }
-                    Target::GroupXor(mask) => {
-                        let group = self
-                            .topo
-                            .ring(spec.dim, channel, me)
-                            .expect("phase dim group exists");
-                        let pos = group.position(me).expect("member of own group");
-                        let partner = group.members()[pos ^ mask];
-                        if spec.on_rings {
-                            // Software-routed along the ring direction.
-                            let dist = ((pos ^ mask) + group.size() - pos) % group.size();
-                            self.topo
-                                .ring_route(spec.dim, channel, me, dist)
-                                .expect("xor partner reachable on ring")
-                        } else {
-                            self.topo
-                                .switch_route(me, partner, channel)
-                                .expect("switch route exists for xor exchange")
-                        }
-                    }
-                };
-                (route, s.bytes, s.step)
-            })
-            .collect();
+                }
+            };
+            routes.push((route, s.bytes, s.step));
+        }
         // Under the `normal` injection policy, bursts are paced: each
         // subsequent message waits one first-link serialization time.
         let gap = if self.cfg.injection == InjectionPolicy::Normal && routes.len() > 1 {
@@ -646,10 +739,7 @@ impl SystemSim {
                 Some(o) => {
                     let psrc = o.mapping.apply(me);
                     let pdst = o.mapping.apply(route.dst());
-                    let proute = o
-                        .finder
-                        .route(psrc, pdst, channel)
-                        .expect("physical fabric is connected");
+                    let proute = o.finder.route(psrc, pdst, channel)?;
                     (psrc, proute)
                 }
             };
@@ -657,19 +747,90 @@ impl SystemSim {
             self.next_msg += 1;
             let delay = gap.scale(k as u64, 1);
             if delay == Time::ZERO {
-                self.net
-                    .send(&mut NetQ(&mut self.queue), msg, route)
-                    .expect("system layer produced an invalid route");
+                self.send_now(msg, route, 0)?;
             } else {
                 self.queue
                     .schedule_in(delay, SysEvent::Inject(Box::new((msg, route))));
             }
         }
+        Ok(())
+    }
+
+    /// Final injection gate: reroutes around hard-down links and applies
+    /// lossy scale-out transport before handing the message to the backend.
+    /// `attempt` counts prior transmissions of this payload (0 = original).
+    fn send_now(&mut self, msg: Message, route: Route, attempt: u32) -> Result<(), SystemError> {
+        let route = self.maybe_reroute(route, Tag::unpack(msg.tag).chunk as usize)?;
+        if let Some(loss) = self.faults.loss {
+            let crosses_scale_out = route.hops().iter().any(|h| h.channel.dim == Dim::ScaleOut);
+            if crosses_scale_out && self.loss_rng.next_f64() < loss.drop_rate {
+                // The frame corrupts in transit: it still occupies the wire
+                // end-to-end, but the payload is discarded on arrival and a
+                // fresh copy goes out after a backed-off timeout.
+                self.stats.drops += 1;
+                if attempt >= loss.max_retries {
+                    return Err(SystemError::RetriesExhausted {
+                        from: msg.src,
+                        to: msg.dst,
+                        attempts: attempt + 1,
+                    });
+                }
+                self.doomed.insert(msg.id);
+                let retry = Message::new(self.next_msg, msg.src, msg.dst, msg.bytes, msg.tag);
+                self.next_msg += 1;
+                self.stats.retransmits += 1;
+                let backoff = loss.timeout.scale(1u64 << attempt.min(31), 1);
+                self.queue.schedule_in(
+                    backoff,
+                    SysEvent::Retransmit(Box::new((retry, route.clone(), attempt + 1))),
+                );
+            }
+        }
+        self.net.send(&mut NetQ(&mut self.queue), msg, route)?;
+        Ok(())
+    }
+
+    /// If the route crosses a link that is hard-down right now, recompute a
+    /// physical path around the outage (counted in
+    /// [`SystemStats::reroutes`]); routes on a healthy fabric pass through
+    /// untouched.
+    fn maybe_reroute(&mut self, route: Route, spray: usize) -> Result<Route, SystemError> {
+        if self.faults.link_faults.is_empty() {
+            return Ok(route);
+        }
+        let down = self.faults.down_pairs_at(self.queue.now());
+        if down.is_empty() || !route.hops().iter().any(|h| down.contains(&(h.from, h.to))) {
+            return Ok(route);
+        }
+        let stale = match &self.reroute_cache {
+            Some((built_for, _)) => *built_for != down,
+            None => true,
+        };
+        if stale {
+            let physical = self
+                .overlay
+                .as_ref()
+                .map(|o| &o.physical)
+                .unwrap_or(&self.topo);
+            let finder = PathFinder::new_excluding(physical, &down);
+            self.reroute_cache = Some((down, finder));
+        }
+        let Some((_, finder)) = self.reroute_cache.as_mut() else {
+            unreachable!("reroute cache filled above");
+        };
+        let rerouted = finder.route(route.src(), route.dst(), spray)?;
+        self.stats.reroutes += 1;
+        Ok(rerouted)
     }
 
     /// A message reached its destination NPU: record stats and start
     /// endpoint processing (or buffer if the chunk is not in that phase yet).
-    fn on_arrival(&mut self, arrival: Arrival) {
+    fn on_arrival(&mut self, arrival: Arrival) -> Result<(), SystemError> {
+        if self.doomed.remove(&arrival.message.id) {
+            // Dropped in transit: the wire bandwidth was consumed but the
+            // payload is lost; its retransmission is already scheduled.
+            return Ok(());
+        }
         let tag = Tag::unpack(arrival.message.tag);
         let npu = match &self.overlay {
             None => arrival.message.dst.index(),
@@ -679,7 +840,10 @@ impl SystemSim {
         let wire = arrival.wire_time();
         self.stats
             .record_message(tag.phase as usize, queueing, wire);
-        let cs = self.colls.get_mut(&tag.coll).expect("collective in flight");
+        let cs = self
+            .colls
+            .get_mut(&tag.coll)
+            .ok_or(SystemError::UnknownCollective { coll: tag.coll })?;
         {
             let r = &mut cs.report;
             let p = tag.phase as usize;
@@ -693,23 +857,42 @@ impl SystemSim {
         let chunk_state = &mut cs.per_npu[npu].chunks[tag.chunk as usize];
         let ready_for_it = chunk_state.machine.is_some() && chunk_state.phase == tag.phase;
         if ready_for_it {
-            self.schedule_endpoint(npu, tag.coll, tag.chunk, tag.phase, tag.step);
+            self.schedule_endpoint(npu, tag.coll, tag.chunk, tag.phase, tag.step)?;
         } else {
-            assert!(
-                tag.phase >= chunk_state.phase && !chunk_state.done,
-                "message for a past phase: tag {tag:?} vs chunk phase {}",
-                chunk_state.phase
-            );
+            if tag.phase < chunk_state.phase || chunk_state.done {
+                return Err(SystemError::Protocol {
+                    what: format!(
+                        "message for a past phase: tag {tag:?} vs chunk phase {}",
+                        chunk_state.phase
+                    ),
+                });
+            }
             chunk_state.pending.push((tag.phase, tag.step));
         }
+        Ok(())
     }
 
     /// Charges endpoint delay plus (for reducing steps) local-update cost,
     /// then fires `EndpointDone`.
-    fn schedule_endpoint(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8, step: u32) {
-        let cs = self.colls.get(&coll).expect("collective in flight");
+    fn schedule_endpoint(
+        &mut self,
+        npu: usize,
+        coll: u64,
+        chunk: u32,
+        phase: u8,
+        step: u32,
+    ) -> Result<(), SystemError> {
+        let cs = self
+            .colls
+            .get(&coll)
+            .ok_or(SystemError::UnknownCollective { coll })?;
         let chunk_state = &cs.per_npu[npu].chunks[chunk as usize];
-        let machine = chunk_state.machine.as_ref().expect("machine active");
+        let machine = chunk_state
+            .machine
+            .as_ref()
+            .ok_or_else(|| SystemError::Protocol {
+                what: format!("endpoint scheduled for chunk {chunk} with no active phase machine"),
+            })?;
         let mut delay = self.cfg.endpoint_delay;
         if machine.reduces_on(step) {
             let kb = machine.message_bytes_for(step).div_ceil(1024);
@@ -725,31 +908,96 @@ impl SystemSim {
                 step,
             },
         );
+        Ok(())
     }
 
     /// Endpoint processing finished: advance the phase machine.
-    fn on_endpoint_done(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8, step: u32) {
-        let cs = self.colls.get_mut(&coll).expect("collective in flight");
+    fn on_endpoint_done(
+        &mut self,
+        npu: usize,
+        coll: u64,
+        chunk: u32,
+        phase: u8,
+        step: u32,
+    ) -> Result<(), SystemError> {
+        let faults_active = !self.faults.is_empty();
+        let cs = self
+            .colls
+            .get_mut(&coll)
+            .ok_or(SystemError::UnknownCollective { coll })?;
         let chunk_state = &mut cs.per_npu[npu].chunks[chunk as usize];
         debug_assert_eq!(chunk_state.phase, phase, "endpoint for a stale phase");
-        let machine = chunk_state.machine.as_mut().expect("machine active");
-        let reaction = machine
-            .on_receive(step)
-            .expect("phase protocol violation — system layer bug");
-        let completed = reaction.completed;
-        let sends = reaction.sends;
-        self.issue_sends(npu, coll, chunk, phase, &sends);
-        if completed {
-            self.on_phase_complete(npu, coll, chunk, phase);
+        let ChunkState {
+            machine, deferred, ..
+        } = chunk_state;
+        let machine = machine.as_mut().ok_or_else(|| SystemError::Protocol {
+            what: format!("endpoint done for chunk {chunk} with no active phase machine"),
+        })?;
+        let reaction = match machine.on_receive(step) {
+            Ok(r) => r,
+            // Under a fault plan, a step can overtake its predecessor: the
+            // predecessor may be stalled behind a retransmission timeout or
+            // a longer rerouted path. Hold the early step back and retry it
+            // once the machine advances. Without faults the strict protocol
+            // check stands — out-of-order steps stay hard errors.
+            Err(CollectiveError::UnexpectedStep { .. }) if faults_active => {
+                deferred.push(step);
+                return Ok(());
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut completed = reaction.completed;
+        let mut sends = reaction.sends;
+        // Each accepted step may unblock held-back successors; drain until
+        // a full sweep makes no progress.
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < deferred.len() {
+                match machine.on_receive(deferred[i]) {
+                    Ok(r) => {
+                        deferred.swap_remove(i);
+                        completed |= r.completed;
+                        sends.extend(r.sends);
+                        progressed = true;
+                    }
+                    Err(CollectiveError::UnexpectedStep { .. }) => i += 1,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            if !progressed {
+                break;
+            }
         }
+        debug_assert!(
+            !completed || chunk_state.deferred.is_empty(),
+            "phase completed with steps still deferred"
+        );
+        self.issue_sends(npu, coll, chunk, phase, &sends)?;
+        if completed {
+            self.on_phase_complete(npu, coll, chunk, phase)?;
+        }
+        Ok(())
     }
 
     /// A chunk finished a phase on this NPU: move it to the next phase's
     /// LSQ or retire it.
-    fn on_phase_complete(&mut self, npu: usize, coll: u64, chunk: u32, phase: u8) {
+    fn on_phase_complete(
+        &mut self,
+        npu: usize,
+        coll: u64,
+        chunk: u32,
+        phase: u8,
+    ) -> Result<(), SystemError> {
         let now = self.now();
         if let Some(trace) = &mut self.trace {
-            let start = self.colls[&coll].per_npu[npu].chunks[chunk as usize].entered_phase_at;
+            let start = self
+                .colls
+                .get(&coll)
+                .ok_or(SystemError::UnknownCollective { coll })?
+                .per_npu[npu]
+                .chunks[chunk as usize]
+                .entered_phase_at;
             trace.push(PhaseSpan {
                 npu: npu as u32,
                 coll,
@@ -763,19 +1011,25 @@ impl SystemSim {
             self.npus[npu].active_first_phase = self.npus[npu]
                 .active_first_phase
                 .checked_sub(1)
-                .expect("first-phase accounting underflow");
+                .ok_or_else(|| SystemError::Protocol {
+                    what: "first-phase accounting underflow".to_string(),
+                })?;
         }
-        let cs = self.colls.get_mut(&coll).expect("collective in flight");
+        let cs = self
+            .colls
+            .get_mut(&coll)
+            .ok_or(SystemError::UnknownCollective { coll })?;
         let num_phases = cs.plan.phases().len();
         let next = phase as usize + 1;
         if next < num_phases {
-            self.enter_phase(npu, coll, chunk, next as u8);
+            self.enter_phase(npu, coll, chunk, next as u8)?;
         } else {
             let npu_state = &mut cs.per_npu[npu];
             let chunk_state = &mut npu_state.chunks[chunk as usize];
             chunk_state.machine = None;
             chunk_state.done = true;
             debug_assert!(chunk_state.pending.is_empty(), "retired chunk has pending msgs");
+            debug_assert!(chunk_state.deferred.is_empty(), "retired chunk has deferred steps");
             npu_state.chunks_done += 1;
             if npu_state.chunks_done as usize == npu_state.chunks.len() {
                 let time = now;
@@ -791,14 +1045,16 @@ impl SystemSim {
                 if cs.npus_done == cs.per_npu.len() {
                     cs.report.finished_at = time;
                     self.stats.collectives_completed += 1;
-                    let done = self.colls.remove(&coll).expect("just updated");
-                    self.reports.insert(coll, done.report);
+                    if let Some(done) = self.colls.remove(&coll) {
+                        self.reports.insert(coll, done.report);
+                    }
                 }
             }
         }
         if phase == 0 {
-            self.maybe_dispatch(npu);
+            self.maybe_dispatch(npu)?;
         }
+        Ok(())
     }
 }
 
@@ -825,7 +1081,7 @@ mod tests {
         let id = sim.issue_collective(req).unwrap();
         let mut done = 0;
         let n = sim.topology().num_npus();
-        while let Some(note) = sim.run_until_notification() {
+        while let Some(note) = sim.run_until_notification().unwrap() {
             if let Notification::CollectiveDone { coll, .. } = note {
                 assert_eq!(coll, id);
                 done += 1;
@@ -835,7 +1091,7 @@ mod tests {
             }
         }
         assert_eq!(done, n, "all NPUs must finish");
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
         (sim.report(id).unwrap().finished_at, id)
     }
 
@@ -918,8 +1174,8 @@ mod tests {
         let mut s = sim(ring8());
         let a = s.schedule_callback(Time::from_cycles(100));
         let b = s.schedule_callback(Time::from_cycles(50));
-        let first = s.run_until_notification().unwrap();
-        let second = s.run_until_notification().unwrap();
+        let first = s.run_until_notification().unwrap().unwrap();
+        let second = s.run_until_notification().unwrap().unwrap();
         match (first, second) {
             (
                 Notification::Callback { id: f, time: tf },
@@ -1001,7 +1257,7 @@ mod tests {
             let small = s.issue_collective(CollectiveRequest::all_reduce(1 << 16)).unwrap();
             let mut small_done_at = Time::ZERO;
             let mut done = 0;
-            while let Some(n) = s.run_until_notification() {
+            while let Some(n) = s.run_until_notification().unwrap() {
                 if let Notification::CollectiveDone { coll, time, .. } = n {
                     if coll == small {
                         done += 1;
@@ -1036,7 +1292,7 @@ mod tests {
         );
         let id = s.issue_collective(CollectiveRequest::all_reduce(4096)).unwrap();
         let mut done = 0;
-        while let Some(n) = s.run_until_notification() {
+        while let Some(n) = s.run_until_notification().unwrap() {
             if matches!(n, Notification::CollectiveDone { .. }) {
                 done += 1;
                 if done == 4 {
@@ -1045,8 +1301,204 @@ mod tests {
             }
         }
         assert_eq!(done, 4);
-        s.run_until_idle();
+        s.run_until_idle().unwrap();
         assert!(s.report(id).is_some());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use astra_network::{FaultKind, LinkFault, LossSpec};
+    use astra_topology::{PodFabric, Torus3d};
+
+    /// Two pods of 4 NPUs behind one scale-out switch.
+    fn pods8() -> LogicalTopology {
+        LogicalTopology::pods(
+            PodFabric::new(Torus3d::new(1, 4, 1, 1, 1, 1).unwrap(), 2, 1).unwrap(),
+        )
+    }
+
+    fn ring8() -> LogicalTopology {
+        LogicalTopology::torus(Torus3d::new(1, 8, 1, 1, 2, 1).unwrap())
+    }
+
+    fn sim(topo: LogicalTopology) -> SystemSim {
+        SystemSim::new(
+            topo,
+            SystemConfig::default(),
+            &NetworkConfig::default(),
+            BackendKind::Analytical,
+        )
+    }
+
+    fn lossy_plan(drop_rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed: 7,
+            loss: Some(LossSpec {
+                drop_rate,
+                timeout: Time::from_cycles(2_000),
+                max_retries: 16,
+            }),
+            ..FaultPlan::default()
+        }
+    }
+
+    fn run_all_reduce(s: &mut SystemSim, bytes: u64) -> Time {
+        let id = s.issue_collective(CollectiveRequest::all_reduce(bytes)).unwrap();
+        s.run_until_idle().unwrap();
+        s.report(id).unwrap().finished_at
+    }
+
+    #[test]
+    fn empty_plan_is_inert_in_the_system_layer() {
+        let mut clean = sim(pods8());
+        let t_clean = run_all_reduce(&mut clean, 1 << 18);
+
+        let mut with_empty = sim(pods8());
+        with_empty.install_faults(&FaultPlan::default()).unwrap();
+        let t_empty = run_all_reduce(&mut with_empty, 1 << 18);
+
+        assert_eq!(t_clean, t_empty);
+        assert_eq!(clean.events_processed(), with_empty.events_processed());
+        assert_eq!(clean.stats().drops, 0);
+        assert_eq!(with_empty.stats().drops, 0);
+    }
+
+    #[test]
+    fn lossy_scale_out_retransmits_and_is_strictly_slower() {
+        let mut clean = sim(pods8());
+        let t_clean = run_all_reduce(&mut clean, 1 << 18);
+        assert_eq!(clean.stats().retransmits, 0);
+
+        let mut lossy = sim(pods8());
+        lossy.install_faults(&lossy_plan(0.05)).unwrap();
+        let t_lossy = run_all_reduce(&mut lossy, 1 << 18);
+
+        let st = lossy.stats();
+        assert!(st.drops > 0, "5% drop rate must hit some scale-out message");
+        assert_eq!(
+            st.retransmits, st.drops,
+            "every drop below the retry budget gets exactly one retransmission"
+        );
+        assert!(
+            t_lossy > t_clean,
+            "recovering dropped messages must cost cycles: {t_lossy} vs {t_clean}"
+        );
+    }
+
+    #[test]
+    fn loss_never_touches_intra_pod_traffic() {
+        // A pure torus has no scale-out links: the lossy plan must be a
+        // behavioural no-op (beyond seeding the RNG).
+        let mut clean = sim(ring8());
+        let t_clean = run_all_reduce(&mut clean, 1 << 18);
+        let mut lossy = sim(ring8());
+        lossy.install_faults(&lossy_plan(0.5)).unwrap();
+        let t_lossy = run_all_reduce(&mut lossy, 1 << 18);
+        assert_eq!(t_clean, t_lossy);
+        assert_eq!(lossy.stats().drops, 0);
+    }
+
+    #[test]
+    fn same_seed_and_plan_replays_cycle_identically() {
+        let run = || {
+            let mut s = sim(pods8());
+            s.install_faults(&lossy_plan(0.1)).unwrap();
+            let t = run_all_reduce(&mut s, 123_457);
+            (t, s.events_processed(), s.stats().drops, s.stats().retransmits)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn reroute_around_down_link_completes_and_counts() {
+        let window_end = Time::from_cycles(1_000_000_000);
+        let plan = FaultPlan {
+            link_faults: vec![LinkFault {
+                from: NodeId(0),
+                to: NodeId(1),
+                kind: FaultKind::Down,
+                start: Time::ZERO,
+                end: window_end,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut s = sim(ring8());
+        s.install_faults(&plan).unwrap();
+        let t = run_all_reduce(&mut s, 1 << 16);
+        assert!(t > Time::ZERO);
+        assert!(
+            s.stats().reroutes > 0,
+            "sends over the dead 0->1 link must be rerouted the long way"
+        );
+        // Nothing ever attempted the dead link, so no stall cycles accrued.
+        assert_eq!(s.net_stats().fault_stall_cycles, 0);
+    }
+
+    #[test]
+    fn fully_cut_source_reports_unreachable() {
+        let window_end = Time::from_cycles(1_000_000_000);
+        let cut = |to: usize| LinkFault {
+            from: NodeId(0),
+            to: NodeId(to),
+            kind: FaultKind::Down,
+            start: Time::ZERO,
+            end: window_end,
+        };
+        let plan = FaultPlan {
+            link_faults: vec![cut(1), cut(7)],
+            ..FaultPlan::default()
+        };
+        let mut s = sim(ring8());
+        s.install_faults(&plan).unwrap();
+        // NPU 0's first sends have no physical path at all.
+        let err = s
+            .issue_collective(CollectiveRequest::all_reduce(1 << 16))
+            .unwrap_err();
+        assert!(
+            matches!(err, SystemError::Unreachable { from: NodeId(0), .. }),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_typed_error() {
+        let plan = FaultPlan {
+            seed: 3,
+            loss: Some(LossSpec {
+                drop_rate: 0.99,
+                timeout: Time::from_cycles(100),
+                max_retries: 0,
+            }),
+            ..FaultPlan::default()
+        };
+        let mut s = sim(pods8());
+        s.install_faults(&plan).unwrap();
+        let id = s.issue_collective(CollectiveRequest::all_reduce(1 << 18)).unwrap();
+        let err = s.run_until_idle().unwrap_err();
+        assert!(
+            matches!(err, SystemError::RetriesExhausted { attempts: 1, .. }),
+            "got: {err}"
+        );
+        let _ = id;
+    }
+
+    #[test]
+    fn bad_plans_rejected_on_install() {
+        let mut s = sim(ring8());
+        // Straggler index past the fabric.
+        let plan = FaultPlan {
+            stragglers: vec![astra_network::Straggler {
+                npu: 99,
+                slowdown: 2.0,
+            }],
+            ..FaultPlan::default()
+        };
+        let err = s.install_faults(&plan).unwrap_err();
+        assert!(matches!(err, SystemError::Fault(_)), "got: {err}");
+        // Plan rejected atomically: nothing installed.
+        assert!(s.faults().is_empty());
     }
 }
 
@@ -1074,7 +1526,7 @@ mod injection_tests {
         let id = sim
             .issue_collective(CollectiveRequest::all_to_all(1 << 20))
             .unwrap();
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
         (sim.report(id).unwrap().finished_at, sim.events_processed())
     }
 
@@ -1120,7 +1572,7 @@ mod injection_tests {
             let id = sim
                 .issue_collective(CollectiveRequest::all_reduce(1 << 16))
                 .unwrap();
-            sim.run_until_idle();
+            sim.run_until_idle().unwrap();
             sim.report(id).unwrap().finished_at
         };
         assert_eq!(
@@ -1152,7 +1604,7 @@ mod overlay_tests {
         let id = sim
             .issue_collective(CollectiveRequest::all_reduce(1 << 20))
             .unwrap();
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
         sim.report(id).unwrap().finished_at
     }
 
@@ -1176,7 +1628,7 @@ mod overlay_tests {
         let id = native
             .issue_collective(CollectiveRequest::all_reduce(1 << 20))
             .unwrap();
-        native.run_until_idle();
+        native.run_until_idle().unwrap();
         let native_t = native.report(id).unwrap().finished_at;
         assert!(
             overlaid > native_t,
@@ -1212,7 +1664,7 @@ mod overlay_tests {
         let id = native
             .issue_collective(CollectiveRequest::all_reduce(1 << 20))
             .unwrap();
-        native.run_until_idle();
+        native.run_until_idle().unwrap();
         let native_t = native.report(id).unwrap().finished_at.cycles() as f64;
         let ratio = overlaid.cycles() as f64 / native_t;
         assert!(
@@ -1257,7 +1709,7 @@ mod hd_system_tests {
             BackendKind::Analytical,
         );
         let id = sim.issue_collective(CollectiveRequest::all_reduce(bytes)).unwrap();
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
         (
             sim.report(id).unwrap().finished_at,
             sim.net_stats().payload_bytes,

@@ -19,6 +19,13 @@ pub struct SystemStats {
     pub collectives_completed: u64,
     /// Messages delivered.
     pub messages: u64,
+    /// Scale-out messages dropped by lossy transport (0 without a fault
+    /// plan; each drop still consumed wire bandwidth).
+    pub drops: u64,
+    /// Retransmissions issued to recover dropped scale-out messages.
+    pub retransmits: u64,
+    /// Sends rerouted around hard-down links.
+    pub reroutes: u64,
 }
 
 impl SystemStats {

@@ -62,7 +62,7 @@ fn run_one(
         .expect("active dims exist");
     let n = topo.num_npus();
     let mut done = 0;
-    while let Some(note) = sim.run_until_notification() {
+    while let Some(note) = sim.run_until_notification().expect("run failed") {
         if let Notification::CollectiveDone { coll, .. } = note {
             assert_eq!(coll, id);
             done += 1;
@@ -72,7 +72,7 @@ fn run_one(
         }
     }
     assert_eq!(done, n, "every NPU must complete");
-    sim.run_until_idle();
+    sim.run_until_idle().expect("run failed");
     let finished = sim.report(id).unwrap().finished_at.cycles();
     (
         finished,

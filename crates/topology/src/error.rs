@@ -58,6 +58,14 @@ pub enum TopologyError {
         /// Human-readable description.
         what: String,
     },
+    /// No physical path connects two endpoints (e.g. every route is blocked
+    /// by down links).
+    Unreachable {
+        /// The route's source.
+        from: NodeId,
+        /// The route's destination.
+        to: NodeId,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -88,6 +96,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "node {node} out of range ({num_npus} NPUs)")
             }
             TopologyError::InvalidMapping { what } => write!(f, "invalid mapping: {what}"),
+            TopologyError::Unreachable { from, to } => write!(
+                f,
+                "no usable physical path from {from} to {to} (all routes down or absent)"
+            ),
         }
     }
 }

@@ -40,9 +40,24 @@ pub struct PathFinder {
 impl PathFinder {
     /// Builds the router over `physical`'s links.
     pub fn new(physical: &LogicalTopology) -> Self {
+        Self::new_excluding(physical, &[])
+    }
+
+    /// Builds the router over `physical`'s links, skipping every link whose
+    /// directed endpoint pair appears in `excluded` (all channels between
+    /// the pair are dropped — a cable fault takes out every ring and switch
+    /// plane multiplexed over it).
+    ///
+    /// Routes found by the resulting finder avoid the excluded links
+    /// entirely; when exclusions disconnect a pair, [`PathFinder::route`]
+    /// reports [`TopologyError::Unreachable`].
+    pub fn new_excluding(physical: &LogicalTopology, excluded: &[(NodeId, NodeId)]) -> Self {
         let n = physical.num_network_nodes();
         let mut adjacency: Vec<Vec<Hop>> = vec![Vec::new(); n];
         for l in physical.links() {
+            if excluded.contains(&(l.from, l.to)) {
+                continue;
+            }
             adjacency[l.from.index()].push(Hop {
                 from: l.from,
                 to: l.to,
@@ -127,9 +142,7 @@ impl PathFinder {
         }
         // Ensure distances are computed, then walk greedily.
         if self.distances(to.index())[from.index()] == usize::MAX {
-            return Err(TopologyError::InvalidMapping {
-                what: format!("no physical path from {from} to {to}"),
-            });
+            return Err(TopologyError::Unreachable { from, to });
         }
         let mut hops = Vec::new();
         let mut cur = from;
@@ -216,6 +229,39 @@ mod tests {
         let mut f = ring8();
         assert!(f.route(NodeId(3), NodeId(3), 0).is_err());
         assert!(f.route(NodeId(0), NodeId(99), 0).is_err());
+    }
+
+    #[test]
+    fn exclusions_reroute_the_long_way() {
+        // 8-ring with both directions: excluding 0 -> 1 forces the 7-hop
+        // route the other way around.
+        let topo = LogicalTopology::torus(Torus3d::new(1, 8, 1, 1, 1, 1).unwrap());
+        let mut f = PathFinder::new_excluding(&topo, &[(NodeId(0), NodeId(1))]);
+        let r = f.route(NodeId(0), NodeId(1), 0).unwrap();
+        assert_eq!(r.len(), 7);
+        assert!(r.hops().iter().all(|h| (h.from, h.to) != (NodeId(0), NodeId(1))));
+        // The reverse direction is untouched.
+        assert_eq!(f.distance(NodeId(1), NodeId(0)), Some(1));
+    }
+
+    #[test]
+    fn disconnecting_exclusions_report_unreachable() {
+        // Cut both directions around node 0: it can still receive from 7
+        // but can reach no one.
+        let topo = LogicalTopology::torus(Torus3d::new(1, 8, 1, 1, 1, 1).unwrap());
+        let mut f = PathFinder::new_excluding(
+            &topo,
+            &[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(7))],
+        );
+        assert!(matches!(
+            f.route(NodeId(0), NodeId(4), 0),
+            Err(TopologyError::Unreachable {
+                from: NodeId(0),
+                to: NodeId(4)
+            })
+        ));
+        let msg = f.route(NodeId(0), NodeId(4), 0).unwrap_err().to_string();
+        assert!(msg.contains("no usable physical path"), "got: {msg}");
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod transform;
 pub mod zoo;
 
 pub use layer::{CommSpec, LayerSpec, Parallelism};
-pub use report::{LayerReport, TrainingReport};
+pub use report::{FaultImpact, LayerReport, TrainingReport};
 pub use runner::TrainingRunner;
 
 use serde::{Deserialize, Serialize};

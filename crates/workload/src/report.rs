@@ -1,7 +1,41 @@
 //! Training run reports: the numbers Figs 13–18 plot.
 
 use astra_des::Time;
+use astra_network::NetStats;
+use astra_system::SystemStats;
 use serde::{Deserialize, Serialize};
+
+/// Fault-recovery counters accumulated over a run. All zero unless a fault
+/// plan was installed on the driving [`astra_system::SystemSim`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultImpact {
+    /// Scale-out messages dropped by the lossy transport.
+    pub drops: u64,
+    /// Retransmissions issued to recover those drops.
+    pub retransmits: u64,
+    /// Sends rerouted around hard-down links.
+    pub reroutes: u64,
+    /// Cycles messages spent stalled behind down-link windows in the
+    /// network backend.
+    pub fault_stall_cycles: u64,
+}
+
+impl FaultImpact {
+    /// Collects the fault counters out of a run's system and network stats.
+    pub fn from_stats(system: &SystemStats, network: &NetStats) -> Self {
+        FaultImpact {
+            drops: system.drops,
+            retransmits: system.retransmits,
+            reroutes: system.reroutes,
+            fault_stall_cycles: network.fault_stall_cycles,
+        }
+    }
+
+    /// True when no fault mechanism fired during the run.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultImpact::default()
+    }
+}
 
 /// Per-layer results, accumulated over all iterations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +87,8 @@ pub struct TrainingReport {
     pub total_compute: Time,
     /// Total exposed communication per NPU (averaged across NPUs).
     pub total_exposed: Time,
+    /// Fault-recovery counters (all zero without a fault plan).
+    pub faults: FaultImpact,
 }
 
 impl TrainingReport {
@@ -86,6 +122,7 @@ mod tests {
             total_time: Time::from_cycles(100),
             total_compute: Time::from_cycles(75),
             total_exposed: Time::from_cycles(25),
+            faults: FaultImpact::default(),
         };
         assert!((r.exposed_ratio() - 0.25).abs() < 1e-12);
         let zero = TrainingReport {

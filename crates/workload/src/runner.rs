@@ -81,6 +81,9 @@ pub struct TrainingRunner {
     issued: HashMap<CollKey, CollId>,
     keys: HashMap<CollId, CollKey>,
     completed: HashSet<(u64, usize)>,
+    /// Per-NPU compute-slowdown factor from the sim's fault plan
+    /// (1.0 everywhere without stragglers).
+    slowdowns: Vec<f64>,
     /// Per-NPU stall start time while in a waiting state.
     stall_start: Vec<Time>,
     /// exposed[npu][layer], accumulated across iterations.
@@ -104,6 +107,7 @@ impl TrainingRunner {
         }
         let n = sim.topology().num_npus();
         let layers = workload.layers.len();
+        let slowdowns = (0..n).map(|npu| sim.faults().compute_slowdown(npu)).collect();
         Ok(TrainingRunner {
             sim,
             workload,
@@ -115,6 +119,7 @@ impl TrainingRunner {
             issued: HashMap::new(),
             keys: HashMap::new(),
             completed: HashSet::new(),
+            slowdowns,
             stall_start: vec![Time::ZERO; n],
             exposed: vec![vec![Time::ZERO; layers]; n],
             finish: vec![Time::ZERO; n],
@@ -141,18 +146,19 @@ impl TrainingRunner {
             self.start_fwd(npu, 0, 0)?;
         }
         while self.done_count < self.n {
-            let Some(note) = self.sim.run_until_notification() else {
-                panic!(
-                    "training deadlocked: {} of {} NPUs done, states {:?}",
-                    self.done_count, self.n, self.states
-                );
+            let Some(note) = self.sim.run_until_notification()? else {
+                return Err(SystemError::Protocol {
+                    what: format!(
+                        "training deadlocked: {} of {} NPUs done, states {:?}",
+                        self.done_count, self.n, self.states
+                    ),
+                });
             };
             match note {
                 Notification::Callback { id, .. } => {
-                    let npu = self
-                        .cb_map
-                        .remove(&id)
-                        .expect("callback belongs to an NPU");
+                    let npu = self.cb_map.remove(&id).ok_or_else(|| SystemError::Protocol {
+                        what: format!("callback {id:?} does not belong to any NPU"),
+                    })?;
                     self.on_compute_done(npu)?;
                 }
                 Notification::CollectiveDone { coll, npu, .. } => {
@@ -161,7 +167,7 @@ impl TrainingRunner {
                 }
             }
         }
-        self.sim.run_until_idle();
+        self.sim.run_until_idle()?;
         Ok(self.assemble())
     }
 
@@ -210,6 +216,15 @@ impl TrainingRunner {
     }
 
     fn schedule_compute(&mut self, npu: usize, delay: Time, next: NpuState) {
+        // Straggler NPUs (fault plan) run every compute phase slower. The
+        // scale is skipped entirely at 1.0 so fault-free runs stay
+        // bit-identical to builds without the fault subsystem.
+        let slowdown = self.slowdowns.get(npu).copied().unwrap_or(1.0);
+        let delay = if slowdown > 1.0 {
+            Time::from_cycles((delay.cycles() as f64 * slowdown).round() as u64)
+        } else {
+            delay
+        };
         let cb = self.sim.schedule_callback(delay);
         self.cb_map.insert(cb, npu);
         self.states[npu] = next;
@@ -342,7 +357,9 @@ impl TrainingRunner {
                 }
                 self.after_bwd_layer(npu, iter, layer)
             }
-            other => panic!("callback in non-compute state {other:?}"),
+            other => Err(SystemError::Protocol {
+                what: format!("compute callback fired for NPU {npu} in non-compute state {other:?}"),
+            }),
         }
     }
 
@@ -353,7 +370,9 @@ impl TrainingRunner {
     }
 
     fn on_coll_done(&mut self, coll: CollId, npu: usize) -> Result<(), SystemError> {
-        let key = *self.keys.get(&coll).expect("collective issued by runner");
+        let key = *self.keys.get(&coll).ok_or_else(|| SystemError::Protocol {
+            what: format!("completion for collective {coll:?} the runner never issued"),
+        })?;
         let resume = match self.states[npu] {
             NpuState::FwdWaitWg { iter, layer } => {
                 (key
@@ -423,6 +442,8 @@ impl TrainingRunner {
     // ---- reporting ----------------------------------------------------
 
     fn assemble(self) -> TrainingReport {
+        let faults =
+            crate::FaultImpact::from_stats(self.sim.stats(), self.sim.net_stats());
         let layers = self
             .workload
             .layers
@@ -500,6 +521,7 @@ impl TrainingRunner {
                 .compute_per_iteration()
                 .scale(u64::from(self.passes), 1),
             total_exposed,
+            faults,
         }
     }
 }
@@ -699,6 +721,68 @@ mod overlap_tests {
             without.total_time,
             without.total_compute + without.total_exposed
         );
+    }
+
+    #[test]
+    fn straggler_npu_slows_training() {
+        use astra_network::{FaultPlan, Straggler};
+        let clean = TrainingRunner::new(sim(), zoo::tiny_mlp(), 2)
+            .unwrap()
+            .run()
+            .unwrap();
+        let plan = FaultPlan {
+            stragglers: vec![Straggler { npu: 3, slowdown: 4.0 }],
+            ..FaultPlan::default()
+        };
+        let mut slow_sim = sim();
+        slow_sim.install_faults(&plan).unwrap();
+        let slowed = TrainingRunner::new(slow_sim, zoo::tiny_mlp(), 2)
+            .unwrap()
+            .run()
+            .unwrap();
+        // Synchronous training moves at the pace of its slowest NPU.
+        assert!(
+            slowed.total_time > clean.total_time,
+            "straggler must slow the run: {} vs {}",
+            slowed.total_time,
+            clean.total_time
+        );
+    }
+
+    #[test]
+    fn straggler_run_is_deterministic() {
+        use astra_network::{FaultPlan, Straggler};
+        let run = || {
+            let plan = FaultPlan {
+                stragglers: vec![Straggler { npu: 0, slowdown: 2.5 }],
+                ..FaultPlan::default()
+            };
+            let mut s = sim();
+            s.install_faults(&plan).unwrap();
+            TrainingRunner::new(s, zoo::tiny_mlp(), 2)
+                .unwrap()
+                .run()
+                .unwrap()
+                .total_time
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_inert_for_training() {
+        use astra_network::FaultPlan;
+        let clean = TrainingRunner::new(sim(), zoo::tiny_mlp(), 2)
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut s = sim();
+        s.install_faults(&FaultPlan::default()).unwrap();
+        let with_plan = TrainingRunner::new(s, zoo::tiny_mlp(), 2)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(clean.total_time, with_plan.total_time);
+        assert_eq!(clean.total_exposed, with_plan.total_exposed);
     }
 
     #[test]

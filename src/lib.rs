@@ -35,6 +35,9 @@ pub use astra_core::output;
 pub use astra_core::{
     CollectiveRunReport, CoreError, OverlayConfig, SimConfig, Simulator, TopologyConfig,
 };
+pub use astra_core::{
+    FaultError, FaultImpact, FaultKind, FaultPlan, LinkFault, LossSpec, Straggler,
+};
 
 pub use astra_core::collectives;
 pub use astra_core::compute;

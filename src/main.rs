@@ -13,10 +13,10 @@
 
 use astra_sim::compute::ComputeModel;
 use astra_sim::collectives::{Algorithm, CollectiveOp};
-use astra_sim::output::{fmt_time, training_table};
+use astra_sim::output::{fault_table, fmt_time, training_table};
 use astra_sim::system::CollectiveRequest;
 use astra_sim::workload::{parser, zoo, Workload};
-use astra_sim::{SimConfig, Simulator};
+use astra_sim::{FaultPlan, SimConfig, Simulator, TopologyConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -25,15 +25,19 @@ fn usage() -> ExitCode {
 
 USAGE:
   astra-sim collective --topology <SHAPE> --op <OP> --bytes <N>
-                       [--enhanced] [--json] [--trace <FILE>]
+                       [--enhanced] [--json] [--trace <FILE>] [--faults <FILE>]
   astra-sim train      --topology <SHAPE> (--model <NAME> | --workload <FILE>)
-                       [--passes <N>] [--minibatch <N>] [--json]
+                       [--passes <N>] [--minibatch <N>] [--json] [--faults <FILE>]
   astra-sim export     --model <NAME> --out <FILE>
 
 SHAPE:  MxNxK       torus (local x horizontal x vertical), e.g. 2x4x4
         MxN@S       hierarchical alltoall with S global switches, e.g. 4x16@4
+        MxNxK*P@S   P torus pods joined by S scale-out switches, e.g. 1x4x1*2@1
 OP:     all-reduce | all-gather | reduce-scatter | all-to-all
-MODEL:  resnet50 | vgg16 | transformer | gpt | dlrm | tiny_mlp"
+MODEL:  resnet50 | vgg16 | transformer | gpt | dlrm | tiny_mlp
+FAULTS: a JSON fault plan (seeded link degradation/outage windows, straggler
+        NPUs, lossy scale-out transport); same (seed, plan) replays are
+        cycle-identical"
     );
     ExitCode::from(2)
 }
@@ -79,6 +83,21 @@ impl Args {
 }
 
 fn parse_topology(shape: &str) -> Result<SimConfig, String> {
+    if let Some((pod, scale_out)) = shape.split_once('*') {
+        let (pods, switches) = scale_out
+            .split_once('@')
+            .ok_or_else(|| format!("pods shape must be MxNxK*P@S, got '{shape}'"))?;
+        let mut cfg = parse_topology(pod)?;
+        let TopologyConfig::Torus { .. } = cfg.topology else {
+            return Err(format!("pods must be built from a torus pod, got '{pod}'"));
+        };
+        cfg.topology = TopologyConfig::Pods {
+            pod: Box::new(cfg.topology),
+            pods: pods.parse().map_err(|_| "bad pod count")?,
+            switches: switches.parse().map_err(|_| "bad scale-out switch count")?,
+        };
+        return Ok(cfg);
+    }
     if let Some((dims, switches)) = shape.split_once('@') {
         let parts: Vec<&str> = dims.split('x').collect();
         if parts.len() != 2 {
@@ -98,6 +117,16 @@ fn parse_topology(shape: &str) -> Result<SimConfig, String> {
         let k: usize = parts[2].parse().map_err(|_| "bad vertical size")?;
         Ok(SimConfig::torus(m, n, k))
     }
+}
+
+/// Loads and pre-validates a JSON fault plan, naming the file in every
+/// error so a bad plan is actionable from the shell.
+fn load_faults(path: &str) -> Result<FaultPlan, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let plan: FaultPlan =
+        serde_json::from_str(&text).map_err(|e| format!("{path}: not a fault plan: {e}"))?;
+    plan.validate().map_err(|e| format!("{path}: {e}"))?;
+    Ok(plan)
 }
 
 fn parse_op(op: &str) -> Result<CollectiveOp, String> {
@@ -134,6 +163,9 @@ fn cmd_collective(args: &Args) -> Result<(), String> {
     if args.has("enhanced") {
         cfg.system.algorithm = Algorithm::Enhanced;
     }
+    if let Some(path) = args.get("faults") {
+        cfg.faults = Some(load_faults(path)?);
+    }
     let sim = Simulator::new(cfg).map_err(|e| e.to_string())?;
     let req = CollectiveRequest {
         op,
@@ -148,7 +180,7 @@ fn cmd_collective(args: &Args) -> Result<(), String> {
         let mut ssim = sim.system_sim().map_err(|e| e.to_string())?;
         ssim.enable_tracing();
         ssim.issue_collective(req.clone()).map_err(|e| e.to_string())?;
-        ssim.run_until_idle();
+        ssim.run_until_idle().map_err(|e| e.to_string())?;
         let json = astra_sim::output::chrome_trace(ssim.trace().unwrap_or(&[]));
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
@@ -174,6 +206,10 @@ fn cmd_collective(args: &Args) -> Result<(), String> {
             "  chunks: {}   phases: {}   messages: {}",
             out.coll.chunks, out.coll.phases, out.system.messages
         );
+        let impact = out.fault_impact();
+        if !impact.is_clean() {
+            print!("fault impact:\n{}", fault_table(&impact).render());
+        }
     }
     Ok(())
 }
@@ -182,6 +218,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let mut cfg = parse_topology(args.get("topology").ok_or("--topology required")?)?;
     if let Some(p) = args.get("passes") {
         cfg.passes = p.parse().map_err(|_| "--passes must be an integer")?;
+    }
+    if let Some(path) = args.get("faults") {
+        cfg.faults = Some(load_faults(path)?);
     }
     let minibatch: u64 = args
         .get("minibatch")
@@ -216,6 +255,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
             fmt_time(report.total_exposed),
             report.exposed_ratio() * 100.0
         );
+        if !report.faults.is_clean() {
+            print!("fault impact:\n{}", fault_table(&report.faults).render());
+        }
     }
     Ok(())
 }

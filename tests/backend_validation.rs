@@ -24,7 +24,7 @@ fn run(backend: BackendKind, bytes: u64) -> Time {
         backend,
     );
     let id = sim.issue_collective(CollectiveRequest::all_reduce(bytes)).unwrap();
-    sim.run_until_idle();
+    sim.run_until_idle().unwrap();
     sim.report(id).unwrap().finished_at
 }
 
@@ -79,7 +79,7 @@ fn garnet_respects_bandwidth_asymmetry() {
         let id = sim
             .issue_collective(CollectiveRequest::all_reduce(64 << 10))
             .unwrap();
-        sim.run_until_idle();
+        sim.run_until_idle().unwrap();
         sim.report(id).unwrap().finished_at
     };
     let local = run_dim(true);

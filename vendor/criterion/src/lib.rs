@@ -1,0 +1,160 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `criterion`, API-compatible with the subset this
+//! workspace uses: `criterion_group!` / `criterion_main!`, benchmark
+//! groups, per-group throughput, and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple — warm up briefly, then time several
+//! samples and report the fastest (least-noise) one — so a full bench run
+//! stays cheap while still producing stable events/second numbers.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units for reporting a benchmark's throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The routine processes this many logical elements per iteration.
+    Elements(u64),
+    /// The routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Applies CLI configuration (accepted for API compatibility; the
+    /// stand-in ignores filters and tuning flags).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { best_ns_per_iter: f64::INFINITY };
+        f(&mut bencher);
+        let ns = bencher.best_ns_per_iter;
+        print!("{}/{:<32} time: {}", self.name, id, format_ns(ns));
+        match self.throughput {
+            Some(Throughput::Elements(n)) if ns.is_finite() && ns > 0.0 => {
+                println!("  thrpt: {:.3} Melem/s", n as f64 / ns * 1e3);
+            }
+            Some(Throughput::Bytes(n)) if ns.is_finite() && ns > 0.0 => {
+                println!("  thrpt: {:.3} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0));
+            }
+            _ => println!(),
+        }
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "<unmeasured>".to_owned()
+    } else if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Times closures handed to [`BenchmarkGroup::bench_function`].
+pub struct Bencher {
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping the fastest of several samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until ~20ms have elapsed (at least once).
+        let warmup_budget = Duration::from_millis(20);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_start.elapsed() < warmup_budget || warmup_iters == 0 {
+            std_black_box(routine());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        // Aim each sample at ~25ms, 5 samples, keep the fastest.
+        let iters_per_sample = ((25e6 / per_iter.max(1.0)) as u64).clamp(1, 1_000_000);
+        for _ in 0..5 {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std_black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            if ns < self.best_ns_per_iter {
+                self.best_ns_per_iter = ns;
+            }
+        }
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench target built from `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

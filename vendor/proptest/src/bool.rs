@@ -1,0 +1,18 @@
+//! Boolean strategies.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Generates `true`/`false` uniformly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolStrategy;
+
+/// The canonical boolean strategy (`proptest::bool::ANY`).
+pub const ANY: BoolStrategy = BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_bool()
+    }
+}

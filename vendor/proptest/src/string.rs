@@ -1,0 +1,128 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax: literal characters, character classes
+//! `[a-z0-9_ ]` (ranges and literal members), and `{m}` / `{m,n}`
+//! repetition after an atom. This covers patterns like
+//! `"[a-z][a-z0-9_]{0,12}"` used by the workspace's tests.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    /// Candidate characters (expanded from the class, or one literal).
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+#[derive(Debug, Clone)]
+pub struct RegexStrategy {
+    atoms: Vec<Atom>,
+}
+
+/// Parses the regex subset; panics on unsupported syntax (a test-authoring
+/// error, not a runtime condition).
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut members = Vec::new();
+                loop {
+                    match it.next() {
+                        Some(']') => break,
+                        Some(lo) => {
+                            if it.peek() == Some(&'-') {
+                                it.next();
+                                let hi = it.next().unwrap_or_else(|| {
+                                    panic!("unterminated range in pattern {pattern:?}")
+                                });
+                                if hi == ']' {
+                                    members.push(lo);
+                                    members.push('-');
+                                    break;
+                                }
+                                members.extend(lo..=hi);
+                            } else {
+                                members.push(lo);
+                            }
+                        }
+                        None => panic!("unterminated class in pattern {pattern:?}"),
+                    }
+                }
+                members
+            }
+            '\\' => {
+                let esc = it
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                vec![esc]
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                panic!("unsupported regex syntax `{c}` in pattern {pattern:?}")
+            }
+            lit => vec![lit],
+        };
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            for q in it.by_ref() {
+                if q == '}' {
+                    break;
+                }
+                spec.push(q);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad repetition {spec:?} in pattern {pattern:?}")
+                    }),
+                    n.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad repetition {spec:?} in pattern {pattern:?}")
+                    }),
+                ),
+                None => {
+                    let m: usize = spec.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad repetition {spec:?} in pattern {pattern:?}")
+                    });
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!chars.is_empty(), "empty class in pattern {pattern:?}");
+        atoms.push(Atom { chars, min, max });
+    }
+    atoms
+}
+
+impl Strategy for RegexStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let reps = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..reps {
+                out.push(atom.chars[rng.below(atom.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexStrategy { atoms: parse(self) }.generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        RegexStrategy { atoms: parse(self) }.generate(rng)
+    }
+}

@@ -1,0 +1,127 @@
+//! The case-running machinery behind the `proptest!` macro.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::fmt;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps full-workspace runs fast
+        // while still exercising a meaningful slice of the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property was falsified.
+    Fail(String),
+    /// The input was rejected (does not count against the case budget).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A falsification with a reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An input rejection with a reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// A deterministic property-test executor (fixed seed, no shrinking).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+/// The runner's overall verdict: the first failing case's description.
+#[derive(Debug)]
+pub struct TestError {
+    case: u32,
+    reason: String,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "property falsified at case {} (deterministic seed, no shrinking): {}",
+            self.case, self.reason
+        )
+    }
+}
+
+impl std::error::Error for TestError {}
+
+impl TestRunner {
+    /// Creates a runner with a fixed seed (reproducible across runs).
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config, rng: TestRng::new(0x243F_6A88_85A3_08D3) }
+    }
+
+    /// Runs `test` over `config.cases` generated inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first falsified case, or an error if too many inputs in
+    /// a row were rejected.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), TestError>
+    where
+        S: Strategy,
+        F: FnMut(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut case = 0u32;
+        let mut consecutive_rejects = 0u32;
+        while case < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            match test(value) {
+                Ok(()) => {
+                    case += 1;
+                    consecutive_rejects = 0;
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    return Err(TestError { case, reason });
+                }
+                Err(TestCaseError::Reject(reason)) => {
+                    consecutive_rejects += 1;
+                    if consecutive_rejects > 1_000 {
+                        return Err(TestError {
+                            case,
+                            reason: format!("1000 consecutive rejects: {reason}"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,224 @@
+//! Deserialization: reconstructing a value from the [`Value`] tree.
+
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Why deserialization failed. Carries a human-readable description with
+/// enough context to locate the offending field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// A free-form deserialization error.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error { msg: msg.to_string() }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str) -> Self {
+        Error { msg: format!("missing field `{field}`") }
+    }
+
+    /// The value had the wrong JSON type.
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        let got = match got {
+            Value::Null => "null".to_owned(),
+            Value::Bool(_) => "a boolean".to_owned(),
+            Value::Number(_) => "a number".to_owned(),
+            Value::String(s) => format!("string {s:?}"),
+            Value::Array(_) => "an array".to_owned(),
+            Value::Object(_) => "an object".to_owned(),
+        };
+        Error { msg: format!("expected {expected}, got {got}") }
+    }
+
+    /// Prefixes the error with the field it occurred in.
+    pub fn in_field(self, field: &str) -> Self {
+        Error { msg: format!("{field}: {}", self.msg) }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can reconstruct itself from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from the tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `v`'s shape does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// Called when a struct field of this type is absent from the input.
+    /// The default errors; `Option<T>` overrides it to yield `None`
+    /// (matching serde's behavior for optional fields).
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the type tolerates absence.
+    fn from_missing_field(field: &str) -> Result<Self, Error> {
+        Err(Error::missing_field(field))
+    }
+}
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::type_mismatch(stringify!($t), v))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| Error::type_mismatch(stringify!($t), v))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // Real serde_json cannot represent non-finite floats, so they
+        // serialize as null; accept null back as NaN-free infinity is
+        // unrecoverable and NaN is the honest reading.
+        if v.is_null() {
+            return Ok(f64::NAN);
+        }
+        v.as_f64().ok_or_else(|| Error::type_mismatch("f64", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::type_mismatch("bool", v))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::type_mismatch("string", v))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = v.as_str().ok_or_else(|| Error::type_mismatch("char", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::type_mismatch("single-character string", v)),
+        }
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::from_value(v).map(Some)
+        }
+    }
+
+    fn from_missing_field(_field: &str) -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::type_mismatch("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::type_mismatch("object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v).map_err(|e| e.in_field(k))?)))
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::type_mismatch("object", v))?;
+        obj.iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v).map_err(|e| e.in_field(k))?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($n:expr; $($name:ident: $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| Error::type_mismatch("array (tuple)", v))?;
+                if arr.len() != $n {
+                    return Err(Error::custom(format!(
+                        "expected a tuple of {} elements, got {}",
+                        $n,
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_de_tuple! {
+    (1; A: 0)
+    (2; A: 0, B: 1)
+    (3; A: 0, B: 1, C: 2)
+    (4; A: 0, B: 1, C: 2, D: 3)
+    (5; A: 0, B: 1, C: 2, D: 3, E: 4)
+    (6; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (7; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (8; A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}

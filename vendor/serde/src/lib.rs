@@ -1,0 +1,28 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `serde`, API-compatible with the subset this
+//! workspace uses.
+//!
+//! Instead of serde's visitor-based zero-copy architecture, this
+//! implementation round-trips every type through an owned JSON-like
+//! [`Value`] tree: [`Serialize`] renders a value *to* the tree and
+//! [`Deserialize`] reconstructs a value *from* it. The `derive` feature
+//! provides `#[derive(Serialize, Deserialize)]` macros that follow serde's
+//! externally-tagged conventions for enums and transparent newtype structs,
+//! so JSON produced by this crate matches what real serde would emit for
+//! the same type definitions (modulo non-finite floats, which become
+//! `null` exactly as `serde_json` does).
+//!
+//! The container lives here (rather than in the JSON crate) so that the
+//! traits and the tree are a single coherent data model; `serde_json`
+//! re-exports [`Value`] and adds text parsing/printing on top.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Error};
+pub use ser::Serialize;
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

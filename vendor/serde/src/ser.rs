@@ -1,0 +1,165 @@
+//! Serialization: rendering a value into the [`Value`] tree.
+
+use crate::value::{Number, Value};
+use std::collections::{BTreeMap, HashMap};
+
+/// A type that can render itself into the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v))
+                }
+            }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output (serde_json users typically enable
+        // a sorted map feature for the same reason).
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                Value::Array(vec![$($name.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_ser_tuple! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}

@@ -1,0 +1,480 @@
+#![allow(clippy::all)]
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). The macros only need the *shape* of a
+//! type — field names and variant kinds — because the generated code uses
+//! struct/variant literals whose field types are inferred; types are
+//! therefore skipped over, not parsed.
+//!
+//! Supported shapes (everything this workspace derives):
+//! - named-field structs (including private fields),
+//! - newtype structs (serialized transparently, like serde),
+//! - tuple and unit structs,
+//! - enums with unit, newtype, tuple, and struct variants, using serde's
+//!   externally-tagged JSON representation.
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce a
+//! compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+/// The shape of a struct's or enum variant's fields.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Unnamed(usize),
+}
+
+/// A parsed `struct`/`enum` definition: just names and field shapes.
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Derives `serde::Serialize` (the stand-in's value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::Struct { name, fields } => ser_struct(name, fields),
+        Input::Enum { name, variants } => ser_enum(name, variants),
+    };
+    let name = parsed.name();
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("derived Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (the stand-in's value-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::Struct { name, fields } => de_struct(name, fields),
+        Input::Enum { name, variants } => de_enum(name, variants),
+    };
+    let name = parsed.name();
+    let out = format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+                 -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse().expect("derived Deserialize impl parses")
+}
+
+impl Input {
+    fn name(&self) -> &str {
+        match self {
+            Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut it = input.into_iter().peekable();
+    loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the #[...] bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(_)) = it.peek() {
+                    it.next(); // pub(crate) etc.
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&mut it);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&mut it);
+            }
+            Some(tt) => panic!("serde stand-in derive: unexpected token `{tt}`"),
+            None => panic!("serde stand-in derive: empty input"),
+        }
+    }
+}
+
+type TokenIter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn expect_ident(it: &mut TokenIter, what: &str) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stand-in derive: expected {what}, got {other:?}"),
+    }
+}
+
+fn reject_generics(it: &mut TokenIter, name: &str) {
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive: generic type `{name}` is not supported");
+        }
+    }
+}
+
+fn parse_struct(it: &mut TokenIter) -> Input {
+    let name = expect_ident(it, "struct name");
+    reject_generics(it, &name);
+    let fields = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Unnamed(count_unnamed_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde stand-in derive: unexpected struct body {other:?}"),
+    };
+    Input::Struct { name, fields }
+}
+
+fn parse_enum(it: &mut TokenIter) -> Input {
+    let name = expect_ident(it, "enum name");
+    reject_generics(it, &name);
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde stand-in derive: expected enum body, got {other:?}"),
+    };
+    let mut variants = Vec::new();
+    let mut vt = body.into_iter().peekable();
+    loop {
+        // Skip per-variant attributes (doc comments etc.).
+        while let Some(TokenTree::Punct(p)) = vt.peek() {
+            if p.as_char() == '#' {
+                vt.next();
+                vt.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = vt.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("serde stand-in derive: expected variant name, got `{tt}`");
+        };
+        let vname = id.to_string();
+        let fields = match vt.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                vt.next();
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Unnamed(count_unnamed_fields(g.stream()));
+                vt.next();
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip any explicit discriminant up to the separating comma.
+        for tt in vt.by_ref() {
+            if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push((vname, fields));
+    }
+    Input::Enum { name, variants }
+}
+
+/// Extracts field names from a named-field body, skipping attributes,
+/// visibility, and the (unparsed) type of each field.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '#' {
+                it.next();
+                it.next();
+            } else {
+                break;
+            }
+        }
+        match it.peek() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(_)) = it.peek() {
+                    it.next();
+                }
+            }
+            _ => {}
+        }
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("serde stand-in derive: expected field name, got `{tt}`");
+        };
+        fields.push(id.to_string());
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stand-in derive: expected `:`, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tt in it.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct/tuple-variant body.
+fn count_unnamed_fields(ts: TokenStream) -> usize {
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut in_segment = false;
+    for tt in ts {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_segment {
+                    count += 1;
+                }
+                in_segment = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' => {}
+            _ => in_segment = true,
+        }
+    }
+    count + usize::from(in_segment)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields_into(map: &str, prefix: &str, fields: &[String]) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let _ = writeln!(
+            s,
+            "{map}.insert(\"{f}\", ::serde::Serialize::to_value(&{prefix}{f}));"
+        );
+    }
+    s
+}
+
+fn ser_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_owned(),
+        Fields::Unnamed(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Fields::Unnamed(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Array(::std::vec![{}])",
+                elems.join(", ")
+            )
+        }
+        Fields::Named(fs) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            s.push_str(&ser_named_fields_into("m", "self.", fs));
+            s.push_str("::serde::Value::Object(m)");
+            let _ = name;
+            s
+        }
+    }
+}
+
+fn ser_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{v} => ::serde::Value::String(\"{v}\".to_owned()),"
+                );
+            }
+            Fields::Unnamed(1) => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{v}(x0) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert(\"{v}\", ::serde::Serialize::to_value(x0));\n\
+                         ::serde::Value::Object(m)\n\
+                     }}"
+                );
+            }
+            Fields::Unnamed(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let elems: Vec<String> = binds
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                let _ = writeln!(
+                    arms,
+                    "{name}::{v}({}) => {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert(\"{v}\", ::serde::Value::Array(::std::vec![{}]));\n\
+                         ::serde::Value::Object(m)\n\
+                     }}",
+                    binds.join(", "),
+                    elems.join(", ")
+                );
+            }
+            Fields::Named(fs) => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{v} {{ {} }} => {{\n\
+                         let mut inner = ::serde::Map::new();\n\
+                         {}\
+                         let mut m = ::serde::Map::new();\n\
+                         m.insert(\"{v}\", ::serde::Value::Object(inner));\n\
+                         ::serde::Value::Object(m)\n\
+                     }}",
+                    fs.join(", "),
+                    ser_named_fields_into("inner", "", fs)
+                );
+            }
+        }
+    }
+    format!("match self {{\n{arms}\n}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// Builds a `Name { field: ..., }` literal body reading from object `obj`.
+fn de_named_fields_literal(obj: &str, fields: &[String]) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let _ = writeln!(
+            s,
+            "{f}: match {obj}.get(\"{f}\") {{\n\
+                 ::core::option::Option::Some(fv) => \
+                     ::serde::Deserialize::from_value(fv)\
+                         .map_err(|e| e.in_field(\"{f}\"))?,\n\
+                 ::core::option::Option::None => \
+                     ::serde::Deserialize::from_missing_field(\"{f}\")?,\n\
+             }},"
+        );
+    }
+    s
+}
+
+fn de_tuple_elems(arr: &str, n: usize) -> String {
+    (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{arr}[{i}])?,"))
+        .collect()
+}
+
+fn de_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "if v.is_null() {{ ::core::result::Result::Ok({name}) }} else {{\n\
+                 ::core::result::Result::Err(\
+                     ::serde::Error::type_mismatch(\"unit struct {name}\", v))\n\
+             }}"
+        ),
+        Fields::Unnamed(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Fields::Unnamed(n) => format!(
+            "let arr = v.as_array().ok_or_else(|| \
+                 ::serde::Error::type_mismatch(\"tuple struct {name}\", v))?;\n\
+             if arr.len() != {n} {{\n\
+                 return ::core::result::Result::Err(::serde::Error::custom(\
+                     format!(\"tuple struct {name} expects {n} elements, got {{}}\", arr.len())));\n\
+             }}\n\
+             ::core::result::Result::Ok({name}({elems}))",
+            elems = de_tuple_elems("arr", *n)
+        ),
+        Fields::Named(fs) => format!(
+            "let obj = v.as_object().ok_or_else(|| \
+                 ::serde::Error::type_mismatch(\"struct {name}\", v))?;\n\
+             ::core::result::Result::Ok({name} {{\n{literal}\n}})",
+            literal = de_named_fields_literal("obj", fs)
+        ),
+    }
+}
+
+fn de_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for (v, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    unit_arms,
+                    "\"{v}\" => ::core::result::Result::Ok({name}::{v}),"
+                );
+            }
+            Fields::Unnamed(1) => {
+                let _ = writeln!(
+                    data_arms,
+                    "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(inner)\
+                             .map_err(|e| e.in_field(\"{v}\"))?)),"
+                );
+            }
+            Fields::Unnamed(n) => {
+                let _ = writeln!(
+                    data_arms,
+                    "\"{v}\" => {{\n\
+                         let arr = inner.as_array().ok_or_else(|| \
+                             ::serde::Error::type_mismatch(\"tuple variant {name}::{v}\", inner))?;\n\
+                         if arr.len() != {n} {{\n\
+                             return ::core::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"variant {name}::{v} expects {n} elements, got {{}}\", arr.len())));\n\
+                         }}\n\
+                         ::core::result::Result::Ok({name}::{v}({elems}))\n\
+                     }}",
+                    elems = de_tuple_elems("arr", *n)
+                );
+            }
+            Fields::Named(fs) => {
+                let _ = writeln!(
+                    data_arms,
+                    "\"{v}\" => {{\n\
+                         let obj = inner.as_object().ok_or_else(|| \
+                             ::serde::Error::type_mismatch(\"struct variant {name}::{v}\", inner))?;\n\
+                         ::core::result::Result::Ok({name}::{v} {{\n{literal}\n}})\n\
+                     }}",
+                    literal = de_named_fields_literal("obj", fs)
+                );
+            }
+        }
+    }
+    format!(
+        "match v {{\n\
+             ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => ::core::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown unit variant `{{other}}` of enum {name}\"))),\n\
+             }},\n\
+             ::serde::Value::Object(m) if m.len() == 1 => {{\n\
+                 let (k, inner) = m.iter().next().expect(\"len checked\");\n\
+                 let _ = inner;\n\
+                 match k.as_str() {{\n\
+                     {data_arms}\n\
+                     other => ::core::result::Result::Err(::serde::Error::custom(\
+                         format!(\"unknown variant `{{other}}` of enum {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             _ => ::core::result::Result::Err(\
+                 ::serde::Error::type_mismatch(\"enum {name}\", v)),\n\
+         }}"
+    )
+}

@@ -1,0 +1,236 @@
+#![allow(clippy::all)]
+//! Offline stand-in for `serde_json`, API-compatible with the subset this
+//! workspace uses: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`to_value`]/[`from_value`], [`Value`] (re-exported from the serde
+//! stand-in), and the [`json!`] macro.
+//!
+//! Fidelity notes, chosen to match real `serde_json` observable behavior:
+//! - object key order is preserved (like `serde_json` with its default
+//!   `Map`... insertion order);
+//! - non-finite floats (`inf`, `NaN`) print as `null`;
+//! - floats that happen to be integral print with a trailing `.0` so they
+//!   round-trip as floats.
+
+mod read;
+mod write;
+
+pub use read::from_str;
+pub use serde::{Map, Number, Value};
+pub use write::{to_string, to_string_pretty};
+
+use serde::{Deserialize, Serialize};
+
+/// Errors from JSON parsing or value conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// 1-based line of a parse error (0 for conversion errors).
+    line: usize,
+    /// 1-based column of a parse error (0 for conversion errors).
+    column: usize,
+}
+
+impl Error {
+    pub(crate) fn parse(msg: impl Into<String>, line: usize, column: usize) -> Self {
+        Error { msg: msg.into(), line, column }
+    }
+
+    pub(crate) fn conversion(e: serde::Error) -> Self {
+        Error { msg: e.to_string(), line: 0, column: 0 }
+    }
+
+    /// 1-based line number of a parse error (0 if not positional).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column number of a parse error (0 if not positional).
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} at line {} column {}", self.msg, self.line, self.column)
+        } else {
+            f.write_str(&self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders any serializable value into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible in this stand-in (kept `Result` for API compatibility).
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Reconstructs a typed value from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails when the tree's shape does not match `T`.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value).map_err(Error::conversion)
+}
+
+#[doc(hidden)]
+pub fn __to_value_infallible<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Constructs a [`Value`] from JSON-like literal syntax; expressions
+/// implementing `Serialize` may be interpolated in value position.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ----- array element munching: builds a `vec![]` of Values -----
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        ::std::vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ----- object entry munching -----
+    // Done.
+    (@object $object:ident () () ()) => {};
+    // Insert the completed entry, then continue after the comma.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Insert the final entry.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+), $value);
+    };
+    // After the colon: special-case literal/array/object values...
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    // ...then general expressions, terminated by a comma or the end.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Munch one token into the key accumulator.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ----- primary entry points -----
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(::std::vec::Vec::new())
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => {
+        $crate::__to_value_infallible(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let n = 3u64;
+        let v = json!({
+            "name": format!("layer{n}"),
+            "flag": true,
+            "nothing": null,
+            "args": { "x": 1, "y": -2.5 },
+            "arr": [1, 2, n],
+        });
+        assert_eq!(v["name"].as_str(), Some("layer3"));
+        assert_eq!(v["args"]["x"].as_u64(), Some(1));
+        assert_eq!(v["args"]["y"].as_f64(), Some(-2.5));
+        assert_eq!(v["arr"][2].as_u64(), Some(3));
+        assert!(v["nothing"].is_null());
+        assert_eq!(v["flag"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let v = json!({"a": [1, 2.5, "x", null, true], "b": {"c": -7}});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let text = to_string(&f64::INFINITY).unwrap();
+        assert_eq!(text, "null");
+    }
+}
