@@ -3,8 +3,11 @@
 //! links lose bandwidth?
 //!
 //! Two pods of a 1x4x1 torus joined by one scale-out switch run a 1 MiB
-//! all-reduce under a drop-rate × link-degradation sweep. Every cell of the
-//! sweep is deterministic: the same (seed, plan) replays cycle-identically.
+//! all-reduce under a drop-rate × link-degradation sweep, expressed as a
+//! 13-point fault axis through the parallel sweep engine (the fault-free
+//! `None` point plus every (degrade, drop-rate) cell); the series lands in
+//! `target/BENCH_ablation_faults.json`. Every cell is deterministic: the
+//! same (seed, plan) replays cycle-identically.
 //!
 //! Checks:
 //! * the fault-free corner of the sweep equals the run with no plan at all
@@ -12,33 +15,22 @@
 //! * completion time grows monotonically along the drop-rate axis at fixed
 //!   degradation, and drops are matched 1:1 by retransmits;
 //! * degrading the scale-up links compounds with transport loss;
-//! * replaying the heaviest cell is cycle-identical.
+//! * replaying the heaviest cell (fresh engine, no cache) is
+//!   cycle-identical.
 
-use astra_bench::{check, emit, header, table_iv};
+use astra_bench::{check, emit, header, run_grid};
+use astra_core::{FaultKind, FaultPlan, LinkFault, LossSpec, SimConfig};
 use astra_core::output::Table;
-use astra_core::{FaultKind, FaultPlan, LinkFault, LossSpec, SimConfig, Simulator, TopologyConfig};
 use astra_des::Time;
-use astra_system::CollectiveRequest;
+use astra_sweep::{Axis, PointMetrics, SweepEngine, SweepSpec};
 use astra_topology::NodeId;
 
-fn pods_cfg() -> SimConfig {
-    let mut cfg = SimConfig {
-        topology: TopologyConfig::Pods {
-            pod: Box::new(TopologyConfig::Torus {
-                local: 1,
-                horizontal: 4,
-                vertical: 1,
-                local_rings: 1,
-                horizontal_rings: 1,
-                vertical_rings: 1,
-            }),
-            pods: 2,
-            switches: 1,
-        },
-        ..SimConfig::torus(1, 4, 1)
-    };
-    cfg.network = table_iv();
-    cfg
+fn base_cfg() -> SimConfig {
+    SimConfig::torus(1, 4, 1)
+        .local_rings(1)
+        .horizontal_rings(1)
+        .vertical_rings(1)
+        .pods(2, 1)
 }
 
 /// A plan combining lossy scale-out transport with degraded intra-pod
@@ -73,15 +65,20 @@ fn plan(drop_rate: f64, degrade: f64) -> FaultPlan {
     p
 }
 
-fn run(faults: Option<FaultPlan>) -> (u64, u64, u64) {
-    let mut cfg = pods_cfg();
-    cfg.faults = faults;
-    let out = Simulator::new(cfg)
-        .expect("valid config")
-        .run_collective(CollectiveRequest::all_reduce(1 << 20))
-        .expect("completes");
-    let impact = out.fault_impact();
-    (out.duration.cycles(), impact.drops, impact.retransmits)
+const DROP_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.1];
+const DEGRADES: [f64; 3] = [1.0, 0.5, 0.25];
+
+fn spec(name: &str, plans: Vec<Option<FaultPlan>>) -> SweepSpec {
+    SweepSpec::new(
+        name,
+        base_cfg(),
+        astra_core::Experiment::all_reduce(1 << 20),
+    )
+    .axis(Axis::Faults(plans))
+}
+
+fn triple(m: &PointMetrics) -> (u64, u64, u64) {
+    (m.duration_cycles, m.drops, m.retransmits)
 }
 
 fn main() {
@@ -89,18 +86,30 @@ fn main() {
         "Ablation — faults",
         "drop-rate x degradation sweep: 1 MiB all-reduce on 2 pods over 1 switch",
     );
-    let drop_rates = [0.0, 0.01, 0.05, 0.1];
-    let degrades = [1.0, 0.5, 0.25];
+    // Point 0 is the no-plan run; points 1.. are the (degrade, drop-rate)
+    // grid, degradation outermost.
+    let mut plans: Vec<Option<FaultPlan>> = vec![None];
+    for &deg in &DEGRADES {
+        for &dr in &DROP_RATES {
+            plans.push(Some(plan(dr, deg)));
+        }
+    }
+    let report = run_grid(spec("ablation_faults", plans));
+    let bare = triple(report.expect_metrics(0));
+    let cell = |deg: usize, dr: usize| {
+        triple(report.expect_metrics(1 + deg * DROP_RATES.len() + dr))
+    };
+
     let mut t = Table::new(
         ["drop_rate", "degrade", "cycles", "drops", "retransmits"]
             .map(String::from)
             .to_vec(),
     );
     let mut grid = Vec::new();
-    for &deg in &degrades {
+    for (di, &deg) in DEGRADES.iter().enumerate() {
         let mut row = Vec::new();
-        for &dr in &drop_rates {
-            let (cycles, drops, retransmits) = run(Some(plan(dr, deg)));
+        for (ri, &dr) in DROP_RATES.iter().enumerate() {
+            let (cycles, drops, retransmits) = cell(di, ri);
             t.row(vec![
                 format!("{dr}"),
                 format!("{deg}"),
@@ -114,7 +123,6 @@ fn main() {
     }
     emit(&t);
 
-    let bare = run(None);
     check(
         "the fault-free corner equals the run with no plan at all",
         grid[0][0] == bare,
@@ -143,9 +151,14 @@ fn main() {
             && grid[2][3].0 >= grid[0][3].0
             && grid[2][3].0 >= grid[2][0].0,
     );
-    let replay = run(Some(plan(0.1, 0.25)));
+    // A fresh, uncached engine must re-simulate to the same cycle count —
+    // the determinism claim, not a cache round-trip.
+    let replay = SweepEngine::new(spec("ablation_faults_replay", vec![Some(plan(0.1, 0.25))]))
+        .workers(1)
+        .run()
+        .expect("replay sweep runs");
     check(
         "replaying the heaviest cell is cycle-identical",
-        replay == grid[2][3],
+        triple(replay.report.expect_metrics(0)) == grid[2][3],
     );
 }

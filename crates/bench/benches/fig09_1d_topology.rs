@@ -4,23 +4,42 @@
 //! alltoall topology (through 7 global switches, leaving 1 link unused) and
 //! four links per peer NAM for Torus topology (1D ring)." (§V-A)
 //!
+//! The figure is a 2 ops × 6 sizes × 2 topologies grid, run through the
+//! parallel sweep engine; the series land in `target/BENCH_fig09_*.json`.
+//!
 //! Paper claims reproduced:
 //! * all-to-all collective: the alltoall topology always outperforms the
 //!   torus;
 //! * all-reduce: the torus overtakes the alltoall topology as the message
 //!   size grows (8 usable links vs 7, better pipelining).
 
-use astra_bench::{
-    alltoall_cfg, check, collective_cycles, emit, header, table_iv, torus_cfg, SIZE_SWEEP,
-};
+use astra_bench::{check, emit, header, run_grid, SIZE_SWEEP};
+use astra_collectives::CollectiveOp;
 use astra_core::output::{fmt_bytes, Table};
-use astra_system::CollectiveRequest;
+use astra_core::{Experiment, SimConfig};
+use astra_sweep::{Axis, SweepSpec};
 
 fn main() {
     header("Fig 9", "1D topology: 1x8 alltoall vs 1x8x1 torus");
-    // 4 links per ring neighbor = 4 bidirectional rings.
-    let torus = torus_cfg(1, 8, 1, 1, 4, 1, table_iv());
-    let a2a = alltoall_cfg(1, 8, 1, 7, table_iv());
+    // 4 links per ring neighbor = 4 bidirectional rings; 7 global switches
+    // leave one of 8 links unused on the alltoall fabric.
+    let base = SimConfig::torus(1, 8, 1)
+        .local_rings(1)
+        .horizontal_rings(4)
+        .vertical_rings(1);
+    let a2a = SimConfig::alltoall(1, 8, 7).local_rings(1).topology;
+    let torus = base.topology.clone();
+
+    let spec = SweepSpec::new("fig09_1d_topology", base, Experiment::all_reduce(1 << 20))
+        .axis(Axis::Ops(vec![CollectiveOp::AllReduce, CollectiveOp::AllToAll]))
+        .axis(Axis::MessageSizes(SIZE_SWEEP.to_vec()))
+        .axis(Axis::Topologies(vec![a2a, torus]));
+    let report = run_grid(spec);
+    // Grid order: op outermost, size next, topology fastest (alltoall,
+    // then torus).
+    let cell = |op: usize, size: usize, topo: usize| {
+        report.duration_cycles((op * SIZE_SWEEP.len() + size) * 2 + topo)
+    };
 
     let mut t = Table::new(
         ["collective", "size", "alltoall_cycles", "torus_cycles"]
@@ -28,13 +47,10 @@ fn main() {
             .to_vec(),
     );
     let mut rows: Vec<(&str, u64, u64, u64)> = Vec::new();
-    for (name, make) in [
-        ("all-reduce", CollectiveRequest::all_reduce as fn(u64) -> CollectiveRequest),
-        ("all-to-all", CollectiveRequest::all_to_all as fn(u64) -> CollectiveRequest),
-    ] {
-        for bytes in SIZE_SWEEP {
-            let ta = collective_cycles(&a2a, make(bytes));
-            let tt = collective_cycles(&torus, make(bytes));
+    for (oi, name) in ["all-reduce", "all-to-all"].into_iter().enumerate() {
+        for (si, bytes) in SIZE_SWEEP.into_iter().enumerate() {
+            let ta = cell(oi, si, 0);
+            let tt = cell(oi, si, 1);
             t.row(vec![
                 name.into(),
                 fmt_bytes(bytes),

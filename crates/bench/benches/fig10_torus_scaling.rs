@@ -6,6 +6,9 @@
 //! every active inter-package dimension one bidirectional ring and the
 //! local dimension two unidirectional rings).
 //!
+//! The figure is a 6 sizes × 4 shapes grid, run through the parallel sweep
+//! engine; the series land in `target/BENCH_fig10_*.json`.
+//!
 //! Paper claims reproduced:
 //! * 1D → 2D (1x64x1 → 1x8x8) is a big win at small/medium sizes (63 hops
 //!   vs 14 dominate), despite sending more data (126/64·N vs 28/8·N);
@@ -15,9 +18,10 @@
 //! * at the largest sizes everything is bandwidth-bound and data volume
 //!   decides: 1x8x8 (28/8·N) overtakes 4x4x4 (36/8·N).
 
-use astra_bench::{check, collective_cycles, emit, header, symmetric_net, torus_cfg, SIZE_SWEEP};
+use astra_bench::{check, emit, header, run_grid, SIZE_SWEEP};
 use astra_core::output::{fmt_bytes, Table};
-use astra_system::CollectiveRequest;
+use astra_core::{Experiment, SimConfig};
+use astra_sweep::{Axis, SweepSpec};
 
 fn main() {
     header(
@@ -29,12 +33,33 @@ fn main() {
     // per-node link budget stays comparable as dimensions are added (the
     // paper: "adding extra dimensions without increasing the number of
     // links or BW per link").
-    let shapes: [(&str, astra_core::SimConfig); 4] = [
-        ("1x64x1", torus_cfg(1, 64, 1, 1, 2, 1, symmetric_net())),
-        ("1x8x8", torus_cfg(1, 8, 8, 1, 2, 2, symmetric_net())),
-        ("2x8x4", torus_cfg(2, 8, 4, 4, 2, 2, symmetric_net())),
-        ("4x4x4", torus_cfg(4, 4, 4, 4, 2, 2, symmetric_net())),
+    let shape = |m, n, k, lr| {
+        SimConfig::torus(m, n, k)
+            .local_rings(lr)
+            .horizontal_rings(2)
+            .vertical_rings(2)
+            .topology
+    };
+    let names = ["1x64x1", "1x8x8", "2x8x4", "4x4x4"];
+    let topologies = vec![
+        SimConfig::torus(1, 64, 1)
+            .local_rings(1)
+            .horizontal_rings(2)
+            .vertical_rings(1)
+            .topology,
+        shape(1, 8, 8, 1),
+        shape(2, 8, 4, 4),
+        shape(4, 4, 4, 4),
     ];
+
+    let spec = SweepSpec::new(
+        "fig10_torus_scaling",
+        SimConfig::torus(1, 64, 1).symmetric_links(),
+        Experiment::all_reduce(1 << 20),
+    )
+    .axis(Axis::MessageSizes(SIZE_SWEEP.to_vec()))
+    .axis(Axis::Topologies(topologies));
+    let report = run_grid(spec);
 
     let mut t = Table::new(
         ["size", "1x64x1", "1x8x8", "2x8x4", "4x4x4"]
@@ -42,12 +67,12 @@ fn main() {
             .to_vec(),
     );
     let mut series: Vec<[u64; 4]> = Vec::new();
-    for bytes in SIZE_SWEEP {
+    for (si, bytes) in SIZE_SWEEP.into_iter().enumerate() {
         let mut row = vec![fmt_bytes(bytes)];
         let mut vals = [0u64; 4];
-        for (i, (_, cfg)) in shapes.iter().enumerate() {
-            vals[i] = collective_cycles(cfg, CollectiveRequest::all_reduce(bytes));
-            row.push(vals[i].to_string());
+        for (i, val) in vals.iter_mut().enumerate() {
+            *val = report.duration_cycles(si * names.len() + i);
+            row.push(val.to_string());
         }
         t.row(row);
         series.push(vals);

@@ -4,13 +4,18 @@
 //! Torus dimensions sweep 2x2x2 (8 NPUs) to 2x8x8 (128 NPUs); the paper
 //! measures the exposed-communication share rising from 4.1% to 25.2%.
 //!
+//! The figure is a 5-topology training sweep, run through the parallel
+//! sweep engine; the series lands in `target/BENCH_fig17_*.json`.
+//!
 //! Checks:
 //! * the exposed ratio grows monotonically with system size;
 //! * it is small on the 8-NPU system and grows by at least 2.5× by 128
 //!   NPUs.
 
-use astra_bench::{calibrated_resnet50, check, emit, header, table_iv, torus_cfg, training};
+use astra_bench::{calibrated_resnet50, check, emit, header, run_grid};
 use astra_core::output::Table;
+use astra_core::{Experiment, SimConfig};
+use astra_sweep::{Axis, SweepSpec};
 
 fn main() {
     header(
@@ -19,6 +24,18 @@ fn main() {
     );
     let shapes: [(usize, usize, usize); 5] =
         [(2, 2, 2), (2, 4, 2), (2, 4, 4), (2, 8, 4), (2, 8, 8)];
+    let topologies = shapes
+        .iter()
+        .map(|&(m, n, k)| SimConfig::torus(m, n, k).topology)
+        .collect();
+
+    let spec = SweepSpec::new(
+        "fig17_size_sweep",
+        SimConfig::torus(2, 2, 2),
+        Experiment::Training(calibrated_resnet50()),
+    )
+    .axis(Axis::Topologies(topologies));
+    let report = run_grid(spec);
 
     let mut t = Table::new(
         ["shape", "npus", "compute", "exposed", "exposed_ratio_pct"]
@@ -26,16 +43,15 @@ fn main() {
             .to_vec(),
     );
     let mut ratios = Vec::new();
-    for (m, n, k) in shapes {
-        let cfg = torus_cfg(m, n, k, 2, 2, 2, table_iv());
-        let report = training(&cfg, calibrated_resnet50());
-        let ratio = report.exposed_ratio();
+    for (i, (m, n, k)) in shapes.into_iter().enumerate() {
+        let metrics = report.expect_metrics(i);
+        let ratio = metrics.exposed_ratio();
         ratios.push(ratio);
         t.row(vec![
             format!("{m}x{n}x{k}"),
             (m * n * k).to_string(),
-            report.total_compute.cycles().to_string(),
-            report.total_exposed.cycles().to_string(),
+            metrics.compute_cycles.to_string(),
+            metrics.exposed_cycles.to_string(),
             format!("{:.1}", ratio * 100.0),
         ]);
     }

@@ -10,8 +10,10 @@
 use astra_core::output::Table;
 use astra_core::{SimConfig, Simulator, TopologyConfig};
 use astra_network::NetworkConfig;
+use astra_sweep::{SweepEngine, SweepReport, SweepSpec};
 use astra_system::{BackendKind, CollectiveRequest, SystemConfig};
 use astra_workload::{TrainingReport, Workload};
+use std::path::PathBuf;
 
 /// The message-size sweep the bandwidth-test figures use (64 KiB – 64 MiB).
 pub const SIZE_SWEEP: [u64; 6] = [
@@ -113,6 +115,49 @@ pub fn training(cfg: &SimConfig, workload: Workload) -> TrainingReport {
         .expect("valid figure config")
         .run_training(workload)
         .expect("training completes")
+}
+
+/// The workspace `target/` directory, where bench sweeps leave their
+/// `BENCH_*.json` artifacts and result cache.
+fn workspace_target() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../target"))
+}
+
+/// The shared on-disk result cache every figure bench points at: grid
+/// points two figures have in common are simulated once, and re-running a
+/// figure is served entirely from cache.
+pub fn sweep_cache_dir() -> PathBuf {
+    workspace_target().join("sweep-cache")
+}
+
+/// Runs a figure's grid through the parallel sweep engine with the shared
+/// result cache, writes the `BENCH_<name>.json` artifact into the
+/// workspace `target/` directory, and returns the deterministic report.
+///
+/// # Panics
+///
+/// Panics if the spec is invalid or the artifact cannot be written — a
+/// bench must fail loudly.
+pub fn run_grid(spec: SweepSpec) -> SweepReport {
+    let run = SweepEngine::new(spec)
+        .cache_dir(sweep_cache_dir())
+        .run()
+        .expect("figure sweep runs");
+    let path = run
+        .report
+        .write_bench_json(workspace_target())
+        .expect("bench artifact written");
+    println!(
+        "[sweep] {}: {} points ({} simulated, {} cache hits, {} deduped) on {} workers -> {}",
+        run.report.name,
+        run.stats.points,
+        run.stats.computed,
+        run.stats.cache_hits,
+        run.stats.deduped,
+        run.stats.workers,
+        path.display()
+    );
+    run.report
 }
 
 /// Prints a figure header.

@@ -1,5 +1,6 @@
 //! End-to-end simulator configuration (Table III).
 
+use astra_collectives::Algorithm;
 use astra_network::{FaultPlan, NetworkConfig};
 use astra_system::{BackendKind, SystemConfig};
 use astra_topology::{HierAllToAll, LogicalTopology, PodFabric, Torus3d, TopologyError};
@@ -99,6 +100,32 @@ impl TopologyConfig {
         }
     }
 
+    /// The shape in the CLI's notation: `MxNxK` (torus), `MxN@S`
+    /// (hierarchical alltoall), `MxNxK*P@S` (pods). The inverse of the
+    /// `astra-sim` binary's `--topology` parser, and the form sweep-point
+    /// labels use.
+    pub fn shape(&self) -> String {
+        match *self {
+            TopologyConfig::Torus {
+                local,
+                horizontal,
+                vertical,
+                ..
+            } => format!("{local}x{horizontal}x{vertical}"),
+            TopologyConfig::AllToAll {
+                local,
+                packages,
+                switches,
+                ..
+            } => format!("{local}x{packages}@{switches}"),
+            TopologyConfig::Pods {
+                ref pod,
+                pods,
+                switches,
+            } => format!("{}*{pods}@{switches}", pod.shape()),
+        }
+    }
+
     /// Total NPUs of the configured fabric.
     pub fn num_npus(&self) -> usize {
         match *self {
@@ -191,6 +218,172 @@ impl SimConfig {
             faults: None,
         }
     }
+
+    // ------------------------------------------------------------------
+    // Fluent builder. Each method consumes and returns `self`, so configs
+    // chain from the constructors:
+    // `SimConfig::torus(1, 8, 1).horizontal_rings(4).passes(1)`.
+    //
+    // Topology-shape setters apply to the matching variant (recursing into
+    // a pods fabric's scale-up torus) and panic when the configured
+    // topology has no such knob — builder misuse is a programming error,
+    // not a runtime condition.
+    // ------------------------------------------------------------------
+
+    /// Sets the unidirectional intra-package ring count (torus or
+    /// alltoall; recurses into a pods fabric's scale-up torus).
+    #[must_use]
+    pub fn local_rings(mut self, rings: usize) -> Self {
+        match topology_leaf(&mut self.topology) {
+            TopologyConfig::Torus { local_rings, .. }
+            | TopologyConfig::AllToAll { local_rings, .. } => *local_rings = rings,
+            TopologyConfig::Pods { .. } => unreachable!("leaf is never pods"),
+        }
+        self
+    }
+
+    /// Sets the bidirectional horizontal ring count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology is not a torus (nor pods-of-torus).
+    #[must_use]
+    pub fn horizontal_rings(mut self, rings: usize) -> Self {
+        match topology_leaf(&mut self.topology) {
+            TopologyConfig::Torus {
+                horizontal_rings, ..
+            } => *horizontal_rings = rings,
+            other => panic!(
+                "horizontal_rings: topology {} has no horizontal dimension",
+                other.shape()
+            ),
+        }
+        self
+    }
+
+    /// Sets the bidirectional vertical ring count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology is not a torus (nor pods-of-torus).
+    #[must_use]
+    pub fn vertical_rings(mut self, rings: usize) -> Self {
+        match topology_leaf(&mut self.topology) {
+            TopologyConfig::Torus { vertical_rings, .. } => *vertical_rings = rings,
+            other => panic!(
+                "vertical_rings: topology {} has no vertical dimension",
+                other.shape()
+            ),
+        }
+        self
+    }
+
+    /// Sets the global (alltoall) or scale-out (pods) switch count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology is a plain torus, which has no switches.
+    #[must_use]
+    pub fn switches(mut self, count: usize) -> Self {
+        match &mut self.topology {
+            TopologyConfig::AllToAll { switches, .. }
+            | TopologyConfig::Pods { switches, .. } => *switches = count,
+            other @ TopologyConfig::Torus { .. } => panic!(
+                "switches: topology {} has no switch dimension",
+                other.shape()
+            ),
+        }
+        self
+    }
+
+    /// Wraps the current torus topology into `pods` pods joined by
+    /// `switches` scale-out switches (§VII).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the current topology is not a torus.
+    #[must_use]
+    pub fn pods(mut self, pods: usize, switches: usize) -> Self {
+        assert!(
+            matches!(self.topology, TopologyConfig::Torus { .. }),
+            "pods: scale-up fabric must be a torus, got {}",
+            self.topology.shape()
+        );
+        self.topology = TopologyConfig::Pods {
+            pod: Box::new(self.topology),
+            pods,
+            switches,
+        };
+        self
+    }
+
+    /// Sets the training iteration count (`num-passes`, Table III row 2).
+    #[must_use]
+    pub fn passes(mut self, passes: u32) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    /// Installs a deterministic fault plan.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Replaces the network parameters wholesale.
+    #[must_use]
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Replaces the system-layer parameters wholesale.
+    #[must_use]
+    pub fn with_system(mut self, system: SystemConfig) -> Self {
+        self.system = system;
+        self
+    }
+
+    /// Selects the network backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Selects the multi-phase collective planner variant (Table III
+    /// row 3).
+    #[must_use]
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.system.algorithm = algorithm;
+        self
+    }
+
+    /// Gives intra-package links the inter-package technology ("links with
+    /// same BW", the symmetric baselines of Figs 10 and 11).
+    #[must_use]
+    pub fn symmetric_links(mut self) -> Self {
+        self.network.local = self.network.package;
+        self
+    }
+
+    /// Runs the logical topology over a different physical fabric
+    /// (§IV-B).
+    #[must_use]
+    pub fn with_overlay(mut self, overlay: OverlayConfig) -> Self {
+        self.overlay = Some(overlay);
+        self
+    }
+}
+
+/// The topology whose ring knobs shape setters adjust: the config itself,
+/// or the scale-up torus inside a pods fabric.
+fn topology_leaf(t: &mut TopologyConfig) -> &mut TopologyConfig {
+    match t {
+        TopologyConfig::Pods { pod, .. } => topology_leaf(pod),
+        other => other,
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +420,67 @@ mod tests {
             ..SimConfig::torus(1, 1, 1)
         };
         assert!(c.topology.build().is_err());
+    }
+
+    #[test]
+    fn builder_chains_adjust_fields() {
+        let c = SimConfig::torus(1, 8, 1)
+            .local_rings(1)
+            .horizontal_rings(4)
+            .vertical_rings(1)
+            .passes(3)
+            .algorithm(Algorithm::Enhanced)
+            .symmetric_links();
+        let TopologyConfig::Torus {
+            local_rings,
+            horizontal_rings,
+            vertical_rings,
+            ..
+        } = c.topology
+        else {
+            panic!("torus expected");
+        };
+        assert_eq!(
+            (local_rings, horizontal_rings, vertical_rings),
+            (1, 4, 1)
+        );
+        assert_eq!(c.passes, 3);
+        assert_eq!(c.system.algorithm, Algorithm::Enhanced);
+        assert_eq!(c.network.local, c.network.package);
+    }
+
+    #[test]
+    fn builder_reaches_into_pods() {
+        let c = SimConfig::torus(1, 4, 1)
+            .local_rings(1)
+            .horizontal_rings(1)
+            .vertical_rings(1)
+            .pods(2, 1)
+            .horizontal_rings(3);
+        assert_eq!(c.topology.shape(), "1x4x1*2@1");
+        assert_eq!(c.topology.num_npus(), 8);
+        let TopologyConfig::Pods { pod, .. } = &c.topology else {
+            panic!("pods expected");
+        };
+        let TopologyConfig::Torus {
+            horizontal_rings, ..
+        } = **pod
+        else {
+            panic!("torus pod expected");
+        };
+        assert_eq!(horizontal_rings, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no vertical dimension")]
+    fn builder_rejects_mismatched_knob() {
+        let _ = SimConfig::alltoall(1, 8, 7).vertical_rings(2);
+    }
+
+    #[test]
+    fn shapes_round_trip_cli_notation() {
+        assert_eq!(SimConfig::torus(2, 4, 4).topology.shape(), "2x4x4");
+        assert_eq!(SimConfig::alltoall(4, 16, 4).topology.shape(), "4x16@4");
     }
 
     #[test]

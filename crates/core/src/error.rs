@@ -18,6 +18,10 @@ pub enum CoreError {
     System(SystemError),
     /// The workload was malformed.
     Workload(String),
+    /// A collective reported completion but the system layer had no report
+    /// for it — an internal invariant violation, never caused by user
+    /// input. The payload is the raw collective id.
+    MissingReport(u64),
 }
 
 impl fmt::Display for CoreError {
@@ -27,6 +31,10 @@ impl fmt::Display for CoreError {
             CoreError::Network(e) => write!(f, "network configuration invalid: {e}"),
             CoreError::System(e) => write!(f, "system layer error: {e}"),
             CoreError::Workload(msg) => write!(f, "workload invalid: {msg}"),
+            CoreError::MissingReport(id) => write!(
+                f,
+                "internal error: completed collective coll{id} has no report"
+            ),
         }
     }
 }
@@ -37,7 +45,7 @@ impl Error for CoreError {
             CoreError::Topology(e) => Some(e),
             CoreError::Network(e) => Some(e),
             CoreError::System(e) => Some(e),
-            CoreError::Workload(_) => None,
+            CoreError::Workload(_) | CoreError::MissingReport(_) => None,
         }
     }
 }

@@ -38,7 +38,7 @@ mod simulator;
 
 pub use config::{OverlayConfig, SimConfig, TopologyConfig};
 pub use error::CoreError;
-pub use simulator::{CollectiveRunReport, Simulator};
+pub use simulator::{CollectiveRunReport, Experiment, RunReport, Simulator};
 
 // Fault-model types, re-exported so a fault plan can be authored without
 // importing the network crate directly.

@@ -29,6 +29,79 @@ impl CollectiveRunReport {
     }
 }
 
+/// One experiment: the paper's two evaluation shapes behind a single entry
+/// point ([`Simulator::run`]). Bandwidth tests drive Figs 9–12, training
+/// runs drive Figs 13–18.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Experiment {
+    /// Issue one collective and measure issue-to-last-NPU completion.
+    Collective(CollectiveRequest),
+    /// Simulate full forward/backward training iterations of a DNN.
+    Training(Workload),
+}
+
+impl Experiment {
+    /// An all-reduce bandwidth test — the most common experiment.
+    pub fn all_reduce(bytes: u64) -> Self {
+        Experiment::Collective(CollectiveRequest::all_reduce(bytes))
+    }
+
+    /// A one-line description ("all-reduce 1048576B" / "training resnet50")
+    /// used in sweep-point labels and log lines.
+    pub fn describe(&self) -> String {
+        match self {
+            Experiment::Collective(req) => format!("{} {}B", req.op, req.bytes),
+            Experiment::Training(wl) => format!("training {}", wl.name),
+        }
+    }
+}
+
+/// The result of [`Simulator::run`]: a tagged union of the two experiment
+/// report shapes with shared accessors for the cross-cutting metrics
+/// (duration, fault impact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunReport {
+    /// A bandwidth test's report (boxed: it is several times larger than
+    /// a training report).
+    Collective(Box<CollectiveRunReport>),
+    /// A training run's report.
+    Training(TrainingReport),
+}
+
+impl RunReport {
+    /// End-to-end simulated duration of the experiment.
+    pub fn duration(&self) -> Time {
+        match self {
+            RunReport::Collective(r) => r.duration,
+            RunReport::Training(r) => r.total_time,
+        }
+    }
+
+    /// Fault-recovery counters of the run (all zero without a fault plan).
+    pub fn fault_impact(&self) -> astra_workload::FaultImpact {
+        match self {
+            RunReport::Collective(r) => r.fault_impact(),
+            RunReport::Training(r) => r.faults,
+        }
+    }
+
+    /// The collective report, when this was a bandwidth test.
+    pub fn as_collective(&self) -> Option<&CollectiveRunReport> {
+        match self {
+            RunReport::Collective(r) => Some(r),
+            RunReport::Training(_) => None,
+        }
+    }
+
+    /// The training report, when this was a training run.
+    pub fn as_training(&self) -> Option<&TrainingReport> {
+        match self {
+            RunReport::Training(r) => Some(r),
+            RunReport::Collective(_) => None,
+        }
+    }
+}
+
 /// The end-to-end simulator: a validated configuration plus experiment
 /// drivers. See the [crate docs](crate) for an example.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -93,8 +166,59 @@ impl Simulator {
         Ok(sim)
     }
 
-    /// Runs a bandwidth test: issues one collective and simulates until
-    /// every NPU completes it.
+    /// Runs one [`Experiment`] — the single entry point the sweep engine
+    /// and the CLI share. Bandwidth tests issue one collective and simulate
+    /// until every NPU completes it; training runs simulate
+    /// `self.config().passes` iterations of the workload.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty collective requests, malformed workloads, or
+    /// system-layer errors.
+    pub fn run(&self, experiment: Experiment) -> Result<RunReport, CoreError> {
+        match experiment {
+            Experiment::Collective(req) => {
+                let mut sim = self.system_sim()?;
+                let id = sim.issue_collective(req)?;
+                let n = sim.topology().num_npus();
+                let mut done = 0;
+                while done < n {
+                    match sim.run_until_notification().map_err(CoreError::System)? {
+                        Some(Notification::CollectiveDone { coll, .. }) if coll == id => {
+                            done += 1
+                        }
+                        Some(_) => {}
+                        None => {
+                            return Err(CoreError::Workload(
+                                "collective never completed (simulation drained)".into(),
+                            ))
+                        }
+                    }
+                }
+                sim.run_until_idle().map_err(CoreError::System)?;
+                let coll = sim
+                    .report(id)
+                    .ok_or(CoreError::MissingReport(id.0))?
+                    .clone();
+                Ok(RunReport::Collective(Box::new(CollectiveRunReport {
+                    duration: coll.duration(),
+                    coll,
+                    system: sim.stats().clone(),
+                    network: sim.net_stats().clone(),
+                })))
+            }
+            Experiment::Training(workload) => {
+                workload.validate().map_err(CoreError::Workload)?;
+                let sim = self.system_sim()?;
+                let runner = TrainingRunner::new(sim, workload, self.cfg.passes)
+                    .map_err(CoreError::System)?;
+                runner.run().map_err(CoreError::System).map(RunReport::Training)
+            }
+        }
+    }
+
+    /// Runs a bandwidth test. Thin wrapper over
+    /// [`run`](Simulator::run)`(Experiment::Collective(req))`.
     ///
     /// # Errors
     ///
@@ -103,45 +227,23 @@ impl Simulator {
         &self,
         req: CollectiveRequest,
     ) -> Result<CollectiveRunReport, CoreError> {
-        let mut sim = self.system_sim()?;
-        let id = sim.issue_collective(req)?;
-        let n = sim.topology().num_npus();
-        let mut done = 0;
-        while done < n {
-            match sim.run_until_notification().map_err(CoreError::System)? {
-                Some(Notification::CollectiveDone { coll, .. }) if coll == id => done += 1,
-                Some(_) => {}
-                None => {
-                    return Err(CoreError::Workload(
-                        "collective never completed (simulation drained)".into(),
-                    ))
-                }
-            }
+        match self.run(Experiment::Collective(req))? {
+            RunReport::Collective(r) => Ok(*r),
+            RunReport::Training(_) => unreachable!("collective experiment"),
         }
-        sim.run_until_idle().map_err(CoreError::System)?;
-        let coll = sim
-            .report(id)
-            .expect("completed collective has a report")
-            .clone();
-        Ok(CollectiveRunReport {
-            duration: coll.duration(),
-            coll,
-            system: sim.stats().clone(),
-            network: sim.net_stats().clone(),
-        })
     }
 
-    /// Runs `self.config().passes` training iterations of `workload`.
+    /// Runs `self.config().passes` training iterations of `workload`. Thin
+    /// wrapper over [`run`](Simulator::run)`(Experiment::Training(..))`.
     ///
     /// # Errors
     ///
     /// Fails on malformed workloads or system-layer errors.
     pub fn run_training(&self, workload: Workload) -> Result<TrainingReport, CoreError> {
-        workload.validate().map_err(CoreError::Workload)?;
-        let sim = self.system_sim()?;
-        let runner =
-            TrainingRunner::new(sim, workload, self.cfg.passes).map_err(CoreError::System)?;
-        runner.run().map_err(CoreError::System)
+        match self.run(Experiment::Training(workload))? {
+            RunReport::Training(r) => Ok(r),
+            RunReport::Collective(_) => unreachable!("training experiment"),
+        }
     }
 }
 
@@ -157,15 +259,7 @@ mod tests {
         // each NAM 8 links: 4 per ring neighbor (4 bidirectional rings) on
         // the torus, one per global switch (7 switches) on the alltoall.
         let msg = 1 << 22;
-        let mut torus_cfg = SimConfig::torus(1, 8, 1);
-        if let crate::TopologyConfig::Torus {
-            ref mut horizontal_rings,
-            ..
-        } = torus_cfg.topology
-        {
-            *horizontal_rings = 4;
-        }
-        let torus = Simulator::new(torus_cfg).unwrap();
+        let torus = Simulator::new(SimConfig::torus(1, 8, 1).horizontal_rings(4)).unwrap();
         let a2a = Simulator::new(SimConfig::alltoall(1, 8, 7)).unwrap();
         let t_torus = torus
             .run_collective(CollectiveRequest::all_reduce(msg))
@@ -216,6 +310,25 @@ mod tests {
             sim.run_training(empty),
             Err(CoreError::Workload(_))
         ));
+    }
+
+    #[test]
+    fn unified_run_matches_dedicated_entry_points() {
+        let sim = Simulator::new(SimConfig::torus(1, 4, 1)).unwrap();
+        let via_run = sim.run(Experiment::all_reduce(1 << 16)).unwrap();
+        let via_old = sim
+            .run_collective(CollectiveRequest::all_reduce(1 << 16))
+            .unwrap();
+        assert_eq!(via_run.as_collective(), Some(&via_old));
+        assert_eq!(via_run.duration(), via_old.duration);
+        assert!(via_run.fault_impact().is_clean());
+
+        let sim = Simulator::new(SimConfig::torus(2, 2, 1)).unwrap();
+        let via_run = sim.run(Experiment::Training(zoo::tiny_mlp())).unwrap();
+        let via_old = sim.run_training(zoo::tiny_mlp()).unwrap();
+        assert_eq!(via_run.as_training(), Some(&via_old));
+        assert_eq!(via_run.duration(), via_old.total_time);
+        assert!(via_run.as_collective().is_none());
     }
 
     #[test]

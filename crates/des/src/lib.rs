@@ -40,6 +40,7 @@
 
 mod clock;
 mod engine;
+pub mod hash;
 mod queue;
 pub mod rng;
 pub mod stats;

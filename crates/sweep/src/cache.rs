@@ -1,0 +1,149 @@
+//! On-disk content-hash result cache.
+//!
+//! Each completed point is stored as `<hash16>.json` under the cache
+//! directory, where the filename is the hex FNV-1a digest of the point's
+//! canonical cache key (schema version + config + experiment JSON). The
+//! entry stores the full key alongside the outcome: FNV-1a is not
+//! collision-free, so a hit requires the stored key to match byte for
+//! byte — a colliding entry is treated as a miss, never as a wrong answer.
+//!
+//! Corrupt or unreadable entries degrade to misses; only *writing* an
+//! entry can fail the sweep.
+
+use crate::report::PointOutcome;
+use crate::SweepPoint;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One serialized cache entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheEntry {
+    /// The full canonical key, compared verbatim on lookup.
+    key: String,
+    /// The cached outcome.
+    outcome: PointOutcome,
+}
+
+/// A directory of cached point results.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) a cache rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, hash: u64) -> PathBuf {
+        self.dir.join(format!("{hash:016x}.json"))
+    }
+
+    /// Looks up a point, returning its cached outcome on a verified hit.
+    pub fn get(&self, point: &SweepPoint) -> Option<PointOutcome> {
+        let text = std::fs::read_to_string(self.entry_path(point.hash)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        (entry.key == point.key).then_some(entry.outcome)
+    }
+
+    /// Stores a point's outcome. Written via a temporary file and rename
+    /// so concurrent writers of the same entry can never expose a torn
+    /// file.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the entry cannot be written.
+    pub fn put(&self, point: &SweepPoint, outcome: &PointOutcome) -> io::Result<()> {
+        let entry = CacheEntry {
+            key: point.key.clone(),
+            outcome: outcome.clone(),
+        };
+        let json = serde_json::to_string(&entry)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        let tmp = self.dir.join(format!(
+            ".{:016x}.{}.tmp",
+            point.hash,
+            std::process::id()
+        ));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, self.entry_path(point.hash))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Axis, SweepSpec};
+    use astra_core::{Experiment, SimConfig};
+
+    fn points() -> Vec<SweepPoint> {
+        SweepSpec::new(
+            "cache-test",
+            SimConfig::torus(1, 4, 1),
+            Experiment::all_reduce(1 << 10),
+        )
+        .axis(Axis::MessageSizes(vec![1 << 10, 1 << 12]))
+        .expand()
+        .unwrap()
+    }
+
+    fn tmp_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir().join(format!(
+            "astra-sweep-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::open(dir).unwrap()
+    }
+
+    #[test]
+    fn round_trips_an_outcome() {
+        let cache = tmp_cache("rt");
+        let pts = points();
+        assert!(cache.get(&pts[0]).is_none());
+        let outcome = PointOutcome::Error {
+            message: "x".into(),
+        };
+        cache.put(&pts[0], &outcome).unwrap();
+        assert_eq!(cache.get(&pts[0]), Some(outcome));
+        assert!(cache.get(&pts[1]).is_none(), "other points still miss");
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn mismatched_key_is_a_miss_not_a_wrong_answer() {
+        let cache = tmp_cache("collide");
+        let pts = points();
+        let outcome = PointOutcome::Error {
+            message: "x".into(),
+        };
+        cache.put(&pts[0], &outcome).unwrap();
+        // Simulate an FNV collision: same filename, different key.
+        let mut forged = pts[1].clone();
+        forged.hash = pts[0].hash;
+        assert!(cache.get(&forged).is_none());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_degrade_to_misses() {
+        let cache = tmp_cache("corrupt");
+        let pts = points();
+        std::fs::write(cache.dir().join(format!("{:016x}.json", pts[0].hash)), "{not json").unwrap();
+        assert!(cache.get(&pts[0]).is_none());
+        std::fs::remove_dir_all(cache.dir()).unwrap();
+    }
+}

@@ -1,0 +1,250 @@
+//! The parallel sweep executor.
+//!
+//! Points are independent seeded simulations, so the engine parallelizes
+//! freely: a hand-rolled pool of scoped `std::thread` workers pulls point
+//! indices from a shared injector queue and writes outcomes into
+//! per-point slots. Because a point's outcome is a pure function of its
+//! (config, experiment) key, the assembled report is identical for any
+//! worker count — parallel runs are bit-identical to sequential ones.
+
+use crate::cache::ResultCache;
+use crate::report::{PointOutcome, PointReport, SweepReport, SweepStats};
+use crate::{SweepError, SweepSpec};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A configured sweep execution: spec + worker count + optional cache.
+#[derive(Debug)]
+pub struct SweepEngine {
+    spec: SweepSpec,
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+/// The result of [`SweepEngine::run`]: the deterministic report plus the
+/// host-side run statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRun {
+    /// The deterministic, serializable report.
+    pub report: SweepReport,
+    /// Wall-clock and cache observations (never serialized into the
+    /// report).
+    pub stats: SweepStats,
+}
+
+impl SweepEngine {
+    /// An engine for `spec` with one worker per available core and no
+    /// result cache.
+    pub fn new(spec: SweepSpec) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        SweepEngine {
+            spec,
+            workers,
+            cache_dir: None,
+        }
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enables the on-disk result cache rooted at `dir`. Points whose
+    /// (config, experiment) key is already cached are served without
+    /// simulating; figure benches pointed at a shared directory skip the
+    /// grid points they have in common.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The spec this engine will run.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// Expands the spec and executes every point.
+    ///
+    /// Within one run, points with identical keys are simulated once and
+    /// shared; across runs, the optional cache serves repeated points.
+    /// Per-point simulation failures are recorded as point outcomes, not
+    /// engine errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails on an invalid spec or on cache I/O errors (a corrupt cache
+    /// *entry* degrades to a miss; failure to create or write the cache
+    /// directory is surfaced).
+    pub fn run(&self) -> Result<SweepRun, SweepError> {
+        let started = Instant::now();
+        let points = self.spec.expand()?;
+        let n = points.len();
+        let cache = match &self.cache_dir {
+            Some(dir) => Some(ResultCache::open(dir).map_err(SweepError::cache_io)?),
+            None => None,
+        };
+
+        let mut outcomes: Vec<Option<PointOutcome>> = vec![None; n];
+        let mut cache_hits = 0usize;
+
+        // Serve what the cache already knows.
+        if let Some(cache) = &cache {
+            for point in &points {
+                if let Some(outcome) = cache.get(point) {
+                    outcomes[point.index] = Some(outcome);
+                    cache_hits += 1;
+                }
+            }
+        }
+
+        // Of the remaining points, simulate each distinct key once.
+        let mut first_of_key: HashMap<u64, usize> = HashMap::new();
+        let mut duplicates: Vec<(usize, usize)> = Vec::new(); // (dup, first)
+        let mut pending: Vec<usize> = Vec::new();
+        for point in &points {
+            if outcomes[point.index].is_some() {
+                continue;
+            }
+            match first_of_key.entry(point.hash) {
+                std::collections::hash_map::Entry::Occupied(first) => {
+                    duplicates.push((point.index, *first.get()));
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(point.index);
+                    pending.push(point.index);
+                }
+            }
+        }
+
+        let computed = pending.len();
+        let workers = self.workers.min(computed.max(1));
+        if computed > 0 {
+            let injector = Mutex::new(pending.into_iter().collect::<VecDeque<usize>>());
+            let slots = Mutex::new(&mut outcomes);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let Some(index) = injector.lock().expect("injector lock").pop_front()
+                        else {
+                            break;
+                        };
+                        let outcome = PointOutcome::run(&points[index]);
+                        slots.lock().expect("slots lock")[index] = Some(outcome);
+                    });
+                }
+            });
+        }
+
+        // Propagate computed results to in-run duplicates, then persist
+        // everything newly computed.
+        for (dup, first) in &duplicates {
+            outcomes[*dup] = outcomes[*first].clone();
+        }
+        if let Some(cache) = &cache {
+            for &index in first_of_key.values() {
+                let outcome = outcomes[index]
+                    .as_ref()
+                    .expect("every pending point ran");
+                cache
+                    .put(&points[index], outcome)
+                    .map_err(SweepError::cache_io)?;
+            }
+        }
+
+        let report = SweepReport {
+            schema: crate::SCHEMA_VERSION,
+            name: self.spec.name.clone(),
+            points: points
+                .iter()
+                .zip(outcomes)
+                .map(|(point, outcome)| PointReport {
+                    index: point.index as u64,
+                    label: point.label.clone(),
+                    key_hash: format!("{:016x}", point.hash),
+                    outcome: outcome.expect("every point resolved"),
+                })
+                .collect(),
+        };
+        let stats = SweepStats {
+            points: n,
+            computed,
+            cache_hits,
+            deduped: duplicates.len(),
+            workers,
+            wall: started.elapsed(),
+        };
+        Ok(SweepRun { report, stats })
+    }
+}
+
+/// Convenience: runs `spec` with default workers and no cache.
+///
+/// # Errors
+///
+/// As [`SweepEngine::run`].
+pub fn run_sweep(spec: SweepSpec) -> Result<SweepRun, SweepError> {
+    SweepEngine::new(spec).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Axis;
+    use astra_core::{Experiment, SimConfig};
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::new(
+            "engine-test",
+            SimConfig::torus(1, 4, 1),
+            Experiment::all_reduce(1 << 10),
+        )
+        .axis(Axis::MessageSizes(vec![1 << 10, 1 << 16, 1 << 10]))
+    }
+
+    #[test]
+    fn duplicates_within_a_run_are_computed_once() {
+        let run = SweepEngine::new(small_spec()).workers(2).run().unwrap();
+        assert_eq!(run.stats.points, 3);
+        assert_eq!(run.stats.computed, 2);
+        assert_eq!(run.stats.deduped, 1);
+        assert_eq!(
+            run.report.points[0].outcome, run.report.points[2].outcome,
+            "identical coordinates share one result"
+        );
+        assert_ne!(run.report.points[0].outcome, run.report.points[1].outcome);
+    }
+
+    #[test]
+    fn failing_points_do_not_sink_the_sweep() {
+        let spec = SweepSpec::new(
+            "partial",
+            SimConfig::torus(1, 4, 1),
+            Experiment::all_reduce(1 << 10),
+        )
+        .axis(Axis::MessageSizes(vec![0, 1 << 10]));
+        let run = SweepEngine::new(spec).workers(1).run().unwrap();
+        assert!(
+            matches!(
+                run.report.points[0].outcome,
+                crate::PointOutcome::Error { .. }
+            ),
+            "zero-byte collective must fail alone"
+        );
+        assert!(run.report.points[1].outcome.metrics().is_some());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let one = SweepEngine::new(small_spec()).workers(1).run().unwrap();
+        let four = SweepEngine::new(small_spec()).workers(4).run().unwrap();
+        assert_eq!(one.report.to_json(), four.report.to_json());
+    }
+}

@@ -16,6 +16,7 @@ use astra_network::{
     NetScheduler, NetworkConfig,
 };
 use astra_topology::{Dim, LogicalTopology, Mapping, NodeId, PathFinder, Route};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::fmt;
 
@@ -34,7 +35,7 @@ impl fmt::Display for CollId {
 pub struct CallbackId(pub u64);
 
 /// A collective the workload layer wants executed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CollectiveRequest {
     /// Which collective.
     pub op: CollectiveOp,

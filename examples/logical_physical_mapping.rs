@@ -17,14 +17,7 @@ use astra_sim::system::CollectiveRequest;
 use astra_sim::{CoreError, OverlayConfig, SimConfig, Simulator, TopologyConfig};
 
 fn torus_topo(l: usize, h: usize, v: usize) -> TopologyConfig {
-    TopologyConfig::Torus {
-        local: l,
-        horizontal: h,
-        vertical: v,
-        local_rings: 2,
-        horizontal_rings: 2,
-        vertical_rings: 2,
-    }
+    SimConfig::torus(l, h, v).topology
 }
 
 fn main() -> Result<(), CoreError> {

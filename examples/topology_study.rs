@@ -10,20 +10,12 @@
 
 use astra_sim::output::{fmt_bytes, fmt_time, Table};
 use astra_sim::system::CollectiveRequest;
-use astra_sim::{CoreError, SimConfig, Simulator, TopologyConfig};
+use astra_sim::{CoreError, SimConfig, Simulator};
 
 fn torus(local: usize, horizontal: usize, vertical: usize, bi_rings: usize) -> SimConfig {
-    SimConfig {
-        topology: TopologyConfig::Torus {
-            local,
-            horizontal,
-            vertical,
-            local_rings: 2,
-            horizontal_rings: bi_rings,
-            vertical_rings: bi_rings,
-        },
-        ..SimConfig::torus(local, horizontal, vertical)
-    }
+    SimConfig::torus(local, horizontal, vertical)
+        .horizontal_rings(bi_rings)
+        .vertical_rings(bi_rings)
 }
 
 fn main() -> Result<(), CoreError> {

@@ -30,14 +30,18 @@
 //! | [`collectives`] | multi-phase collective synthesis + state machines |
 //! | [`system`] | scheduler, dispatcher, LSQs (the paper's Fig 7) |
 //! | [`workload`] | training loop, parallelism, model zoo, Fig-8 parser |
+//! | [`sweep`] | declarative parallel parameter-sweep engine |
 
 pub use astra_core::output;
 pub use astra_core::{
-    CollectiveRunReport, CoreError, OverlayConfig, SimConfig, Simulator, TopologyConfig,
+    CollectiveRunReport, CoreError, Experiment, OverlayConfig, RunReport, SimConfig, Simulator,
+    TopologyConfig,
 };
 pub use astra_core::{
     FaultError, FaultImpact, FaultKind, FaultPlan, LinkFault, LossSpec, Straggler,
 };
+
+pub use astra_sweep as sweep;
 
 pub use astra_core::collectives;
 pub use astra_core::compute;

@@ -14,9 +14,10 @@
 use astra_sim::compute::ComputeModel;
 use astra_sim::collectives::{Algorithm, CollectiveOp};
 use astra_sim::output::{fault_table, fmt_time, training_table};
+use astra_sim::sweep::{Axis, SweepEngine, SweepSpec};
 use astra_sim::system::CollectiveRequest;
 use astra_sim::workload::{parser, zoo, Workload};
-use astra_sim::{FaultPlan, SimConfig, Simulator, TopologyConfig};
+use astra_sim::{Experiment, FaultPlan, SimConfig, Simulator, TopologyConfig};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -29,15 +30,25 @@ USAGE:
   astra-sim train      --topology <SHAPE> (--model <NAME> | --workload <FILE>)
                        [--passes <N>] [--minibatch <N>] [--json] [--faults <FILE>]
   astra-sim export     --model <NAME> --out <FILE>
+  astra-sim sweep      (--spec <FILE> | --topology <SHAPE,...>)
+                       [--op <OP,...>] [--sizes <N,...>] [--algorithms <ALG,...>]
+                       [--faults <FILE>] [--name <NAME>] [--workers <N>]
+                       [--cache-dir <DIR>] [--out-dir <DIR>] [--json]
 
 SHAPE:  MxNxK       torus (local x horizontal x vertical), e.g. 2x4x4
         MxN@S       hierarchical alltoall with S global switches, e.g. 4x16@4
         MxNxK*P@S   P torus pods joined by S scale-out switches, e.g. 1x4x1*2@1
 OP:     all-reduce | all-gather | reduce-scatter | all-to-all
 MODEL:  resnet50 | vgg16 | transformer | gpt | dlrm | tiny_mlp
+ALG:    baseline | enhanced
 FAULTS: a JSON fault plan (seeded link degradation/outage windows, straggler
         NPUs, lossy scale-out transport); same (seed, plan) replays are
-        cycle-identical"
+        cycle-identical
+
+SWEEPS: `sweep` expands the cartesian grid of all axes (topologies x ops x
+        algorithms x sizes), runs it on a worker pool, and writes
+        BENCH_<name>.json; reports are byte-identical for any --workers and
+        any --cache-dir state"
     );
     ExitCode::from(2)
 }
@@ -262,6 +273,103 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds a `SweepSpec` from inline CLI axes: `--topology` (required,
+/// comma-separated shapes) plus optional `--op`, `--algorithms`, and
+/// `--sizes` axes and an optional `--faults` plan (swept against the
+/// fault-free configuration).
+fn inline_spec(args: &Args) -> Result<SweepSpec, String> {
+    let shapes = args
+        .get("topology")
+        .ok_or("--spec or --topology required")?;
+    let mut topologies = Vec::new();
+    for shape in shapes.split(',') {
+        topologies.push(parse_topology(shape)?.topology);
+    }
+    let base = parse_topology(shapes.split(',').next().unwrap_or_default())?;
+    let mut spec = SweepSpec::new(
+        args.get("name").unwrap_or("cli"),
+        base,
+        Experiment::all_reduce(1 << 20),
+    )
+    .axis(Axis::Topologies(topologies));
+    if let Some(ops) = args.get("op") {
+        let ops: Vec<CollectiveOp> =
+            ops.split(',').map(parse_op).collect::<Result<_, _>>()?;
+        spec = spec.axis(Axis::Ops(ops));
+    }
+    if let Some(algs) = args.get("algorithms") {
+        let algs: Vec<Algorithm> = algs
+            .split(',')
+            .map(|a| match a {
+                "baseline" => Ok(Algorithm::Baseline),
+                "enhanced" => Ok(Algorithm::Enhanced),
+                other => Err(format!("unknown algorithm '{other}'")),
+            })
+            .collect::<Result<_, _>>()?;
+        spec = spec.axis(Axis::Algorithms(algs));
+    }
+    if let Some(sizes) = args.get("sizes") {
+        let sizes: Vec<u64> = sizes
+            .split(',')
+            .map(|s| s.parse().map_err(|_| format!("bad size '{s}'")))
+            .collect::<Result<_, _>>()?;
+        spec = spec.axis(Axis::MessageSizes(sizes));
+    }
+    if let Some(path) = args.get("faults") {
+        spec = spec.axis(Axis::Faults(vec![None, Some(load_faults(path)?)]));
+    }
+    Ok(spec)
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let spec = match args.get("spec") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("{path}: not a sweep spec: {e}"))?
+        }
+        None => inline_spec(args)?,
+    };
+    let mut engine = SweepEngine::new(spec);
+    if let Some(w) = args.get("workers") {
+        engine = engine.workers(w.parse().map_err(|_| "--workers must be an integer")?);
+    }
+    if let Some(dir) = args.get("cache-dir") {
+        engine = engine.cache_dir(dir);
+    }
+    let run = engine.run().map_err(|e| e.to_string())?;
+    if args.has("json") {
+        print!("{}", run.report.to_json());
+    } else {
+        for point in &run.report.points {
+            match point.outcome.metrics() {
+                Some(m) => println!(
+                    "  [{:>3}] {}: {} cycles",
+                    point.index, point.label, m.duration_cycles
+                ),
+                None => println!("  [{:>3}] {}: FAILED", point.index, point.label),
+            }
+        }
+    }
+    let out_dir = args.get("out-dir").unwrap_or(".");
+    let path = run
+        .report
+        .write_bench_json(out_dir)
+        .map_err(|e| format!("{out_dir}: {e}"))?;
+    eprintln!(
+        "sweep `{}`: {} points ({} simulated, {} cache hits, {} deduped) \
+         on {} workers in {:.3}s -> {}",
+        run.report.name,
+        run.stats.points,
+        run.stats.computed,
+        run.stats.cache_hits,
+        run.stats.deduped,
+        run.stats.workers,
+        run.stats.wall.as_secs_f64(),
+        path.display()
+    );
+    Ok(())
+}
+
 fn cmd_export(args: &Args) -> Result<(), String> {
     let name = args.get("model").ok_or("--model required")?;
     let out = args.get("out").ok_or("--out required")?;
@@ -286,6 +394,7 @@ fn main() -> ExitCode {
         "collective" => cmd_collective(&args),
         "train" => cmd_train(&args),
         "export" => cmd_export(&args),
+        "sweep" => cmd_sweep(&args),
         _ => return usage(),
     };
     match result {

@@ -104,6 +104,80 @@ fn export_roundtrips_through_train() {
 }
 
 #[test]
+fn sweep_command_writes_bench_json_and_hits_cache() {
+    let dir = std::env::temp_dir().join(format!("astra_cli_sweep_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = dir.join("cache");
+    let sweep_args = [
+        "sweep",
+        "--topology",
+        "1x4x1,1x4@3",
+        "--op",
+        "all-reduce,all-to-all",
+        "--sizes",
+        "65536,1048576",
+        "--name",
+        "cli-test",
+        "--workers",
+        "2",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+    ];
+    let (ok, _, stderr) = run(&sweep_args);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("8 points (8 simulated, 0 cache hits"), "{stderr}");
+
+    let artifact = dir.join("BENCH_cli-test.json");
+    let first = std::fs::read_to_string(&artifact).expect("artifact written");
+    let v: serde_json::Value = serde_json::from_str(&first).expect("valid JSON");
+    assert_eq!(v["schema"].as_u64(), Some(1));
+    assert_eq!(v["points"].as_array().unwrap().len(), 8);
+
+    // Warm re-run: all points served from cache, byte-identical artifact.
+    let (ok, _, stderr) = run(&sweep_args);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("8 cache hits"), "{stderr}");
+    let second = std::fs::read_to_string(&artifact).unwrap();
+    assert_eq!(first, second, "cached re-run must not change a byte");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sweep_spec_file_runs() {
+    let dir = std::env::temp_dir().join(format!("astra_cli_specfile_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // Author a spec through the library API, write it, run it via --spec.
+    use astra_sim::sweep::{Axis, SweepSpec};
+    use astra_sim::{Experiment, SimConfig};
+    let spec = SweepSpec::new(
+        "from-file",
+        SimConfig::torus(1, 4, 1),
+        Experiment::all_reduce(1 << 10),
+    )
+    .axis(Axis::MessageSizes(vec![1 << 10, 1 << 16]));
+    let spec_path = dir.join("spec.json");
+    std::fs::write(&spec_path, serde_json::to_string(&spec).unwrap()).unwrap();
+    let (ok, stdout, stderr) = run(&[
+        "sweep",
+        "--spec",
+        spec_path.to_str().unwrap(),
+        "--out-dir",
+        dir.to_str().unwrap(),
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    let v: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    assert_eq!(v["name"].as_str(), Some("from-file"));
+    assert!(dir.join("BENCH_from-file.json").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn bad_arguments_fail_gracefully() {
     let (ok, _, stderr) = run(&["collective", "--topology", "banana", "--bytes", "1"]);
     assert!(!ok);

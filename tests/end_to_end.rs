@@ -212,16 +212,13 @@ fn topology_config_rejects_nonsense() {
 fn overlay_config_via_facade() {
     use astra_sim::OverlayConfig;
     // Logical 1x4x4 on a physical 1x16x1 ring, with a rotated permutation.
-    let mut cfg = SimConfig::torus(1, 4, 4);
-    cfg.overlay = Some(OverlayConfig {
-        physical: astra_sim::TopologyConfig::Torus {
-            local: 1,
-            horizontal: 16,
-            vertical: 1,
-            local_rings: 1,
-            horizontal_rings: 2,
-            vertical_rings: 1,
-        },
+    let thin_ring = SimConfig::torus(1, 16, 1)
+        .local_rings(1)
+        .horizontal_rings(2)
+        .vertical_rings(1)
+        .topology;
+    let cfg = SimConfig::torus(1, 4, 4).with_overlay(OverlayConfig {
+        physical: thin_ring.clone(),
         permutation: Some((0..16).map(|i| (i + 5) % 16).collect()),
     });
     let overlaid = Simulator::new(cfg)
@@ -239,16 +236,8 @@ fn overlay_config_via_facade() {
         native.duration
     );
     // A rotation is an isomorphism of the ring: same result as identity.
-    let mut ident_cfg = SimConfig::torus(1, 4, 4);
-    ident_cfg.overlay = Some(OverlayConfig {
-        physical: astra_sim::TopologyConfig::Torus {
-            local: 1,
-            horizontal: 16,
-            vertical: 1,
-            local_rings: 1,
-            horizontal_rings: 2,
-            vertical_rings: 1,
-        },
+    let ident_cfg = SimConfig::torus(1, 4, 4).with_overlay(OverlayConfig {
+        physical: thin_ring,
         permutation: None,
     });
     let ident = Simulator::new(ident_cfg)
@@ -260,16 +249,12 @@ fn overlay_config_via_facade() {
 
 #[test]
 fn bad_overlay_permutation_rejected() {
-    let mut cfg = SimConfig::torus(1, 4, 1);
-    cfg.overlay = Some(astra_sim::OverlayConfig {
-        physical: astra_sim::TopologyConfig::Torus {
-            local: 1,
-            horizontal: 4,
-            vertical: 1,
-            local_rings: 1,
-            horizontal_rings: 1,
-            vertical_rings: 1,
-        },
+    let cfg = SimConfig::torus(1, 4, 1).with_overlay(astra_sim::OverlayConfig {
+        physical: SimConfig::torus(1, 4, 1)
+            .local_rings(1)
+            .horizontal_rings(1)
+            .vertical_rings(1)
+            .topology,
         permutation: Some(vec![0, 0, 1, 2]), // not a permutation
     });
     let sim = Simulator::new(cfg).unwrap();
@@ -281,22 +266,12 @@ fn bad_overlay_permutation_rejected() {
 #[test]
 fn garnet_backend_runs_on_pod_fabric() {
     use astra_sim::system::BackendKind;
-    let mut cfg = SimConfig {
-        topology: astra_sim::TopologyConfig::Pods {
-            pod: Box::new(astra_sim::TopologyConfig::Torus {
-                local: 2,
-                horizontal: 1,
-                vertical: 1,
-                local_rings: 1,
-                horizontal_rings: 1,
-                vertical_rings: 1,
-            }),
-            pods: 2,
-            switches: 1,
-        },
-        ..SimConfig::torus(2, 1, 1)
-    };
-    cfg.backend = BackendKind::Garnet;
+    let mut cfg = SimConfig::torus(2, 1, 1)
+        .local_rings(1)
+        .horizontal_rings(1)
+        .vertical_rings(1)
+        .pods(2, 1)
+        .with_backend(BackendKind::Garnet);
     cfg.system.set_splits = 2;
     let out = Simulator::new(cfg)
         .unwrap()

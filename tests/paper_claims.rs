@@ -6,7 +6,7 @@
 use astra_sim::collectives::{plan, traffic, Algorithm, CollectiveOp, Ratio};
 use astra_sim::system::CollectiveRequest;
 use astra_sim::topology::{LogicalTopology, Torus3d};
-use astra_sim::{SimConfig, Simulator, TopologyConfig};
+use astra_sim::{SimConfig, Simulator};
 
 fn cycles(cfg: &SimConfig, req: CollectiveRequest) -> u64 {
     Simulator::new(cfg.clone())
@@ -54,17 +54,10 @@ fn enhanced_cuts_inter_package_traffic_4x() {
 /// all-reduce.
 #[test]
 fn fig9_smoke() {
-    let torus = SimConfig {
-        topology: TopologyConfig::Torus {
-            local: 1,
-            horizontal: 8,
-            vertical: 1,
-            local_rings: 1,
-            horizontal_rings: 4,
-            vertical_rings: 1,
-        },
-        ..SimConfig::torus(1, 8, 1)
-    };
+    let torus = SimConfig::torus(1, 8, 1)
+        .local_rings(1)
+        .horizontal_rings(4)
+        .vertical_rings(1);
     let a2a = SimConfig::alltoall(1, 8, 7);
     let big = 16 << 20;
     assert!(
@@ -81,17 +74,11 @@ fn fig9_smoke() {
 #[test]
 fn fig10_smoke() {
     let shape = |m, n, k, lr, hr, vr| {
-        symmetric(SimConfig {
-            topology: TopologyConfig::Torus {
-                local: m,
-                horizontal: n,
-                vertical: k,
-                local_rings: lr,
-                horizontal_rings: hr,
-                vertical_rings: vr,
-            },
-            ..SimConfig::torus(m, n, k)
-        })
+        SimConfig::torus(m, n, k)
+            .local_rings(lr)
+            .horizontal_rings(hr)
+            .vertical_rings(vr)
+            .symmetric_links()
     };
     let small = 64 << 10;
     let d1 = cycles(&shape(1, 64, 1, 1, 2, 1), CollectiveRequest::all_reduce(small));

@@ -6,24 +6,13 @@ use astra_sim::des::Time;
 use astra_sim::system::CollectiveRequest;
 use astra_sim::topology::{Dim, LogicalTopology, PodFabric, Torus3d};
 use astra_sim::workload::zoo;
-use astra_sim::{SimConfig, Simulator, TopologyConfig};
+use astra_sim::{SimConfig, Simulator};
 
 fn pods_cfg(pods: usize, switches: usize) -> SimConfig {
-    SimConfig {
-        topology: TopologyConfig::Pods {
-            pod: Box::new(TopologyConfig::Torus {
-                local: 2,
-                horizontal: 2,
-                vertical: 2,
-                local_rings: 2,
-                horizontal_rings: 1,
-                vertical_rings: 1,
-            }),
-            pods,
-            switches,
-        },
-        ..SimConfig::torus(2, 2, 2)
-    }
+    SimConfig::torus(2, 2, 2)
+        .horizontal_rings(1)
+        .vertical_rings(1)
+        .pods(pods, switches)
 }
 
 #[test]
@@ -130,17 +119,11 @@ fn scale_out_dim_appears_last_in_plans() {
 #[test]
 fn single_pod_behaves_like_plain_torus() {
     let pods = Simulator::new(pods_cfg(1, 0)).unwrap();
-    let plain = Simulator::new(SimConfig {
-        topology: TopologyConfig::Torus {
-            local: 2,
-            horizontal: 2,
-            vertical: 2,
-            local_rings: 2,
-            horizontal_rings: 1,
-            vertical_rings: 1,
-        },
-        ..SimConfig::torus(2, 2, 2)
-    })
+    let plain = Simulator::new(
+        SimConfig::torus(2, 2, 2)
+            .horizontal_rings(1)
+            .vertical_rings(1),
+    )
     .unwrap();
     let req = || CollectiveRequest::all_reduce(1 << 20);
     assert_eq!(
