@@ -10,7 +10,7 @@
 use astra_core::output::Table;
 use astra_core::{SimConfig, Simulator, TopologyConfig};
 use astra_network::NetworkConfig;
-use astra_sweep::{SweepEngine, SweepReport, SweepSpec};
+use astra_sweep::{SweepEngine, SweepReport, SweepRun, SweepSpec};
 use astra_system::{BackendKind, CollectiveRequest, SystemConfig};
 use astra_workload::{TrainingReport, Workload};
 use std::path::PathBuf;
@@ -139,6 +139,18 @@ pub fn sweep_cache_dir() -> PathBuf {
 /// Panics if the spec is invalid or the artifact cannot be written — a
 /// bench must fail loudly.
 pub fn run_grid(spec: SweepSpec) -> SweepReport {
+    run_grid_stats(spec).report
+}
+
+/// Like [`run_grid`], but also hands back the host-side
+/// [`SweepStats`](astra_sweep::SweepStats) (wall clock, cache behavior,
+/// events processed) for benches that report engine throughput. The stats
+/// never influence the written artifact.
+///
+/// # Panics
+///
+/// As [`run_grid`].
+pub fn run_grid_stats(spec: SweepSpec) -> SweepRun {
     let run = SweepEngine::new(spec)
         .cache_dir(sweep_cache_dir())
         .run()
@@ -157,7 +169,7 @@ pub fn run_grid(spec: SweepSpec) -> SweepReport {
         run.stats.workers,
         path.display()
     );
-    run.report
+    run
 }
 
 /// Prints a figure header.

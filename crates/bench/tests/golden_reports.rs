@@ -1,0 +1,173 @@
+//! Golden-report pins for the refactor seam.
+//!
+//! Each golden point replays one grid cell of a figure bench (fig09, fig10,
+//! fig17) or the fault ablation through [`Simulator::run`] and compares the
+//! *complete* serialized [`RunReport`] — phase spans, per-NPU stats, fault
+//! counters and all — byte-for-byte against a JSON file captured before the
+//! system-layer scheduler refactor. Any change to event ordering, endpoint
+//! costing, retransmit backoff or report serialization trips these tests.
+//!
+//! Regenerate (only when a behavior change is *intended* and documented):
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test -p astra-bench --test golden_reports
+//! ```
+
+use astra_bench::calibrated_resnet50;
+use astra_core::{
+    Experiment, FaultKind, FaultPlan, LinkFault, LossSpec, SimConfig, Simulator,
+};
+use astra_des::Time;
+use astra_system::CollectiveRequest;
+use astra_topology::NodeId;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Runs the experiment and either regenerates or checks the golden file.
+fn golden(name: &str, cfg: SimConfig, experiment: Experiment) {
+    let sim = Simulator::new(cfg).expect("golden config is valid");
+    let report = sim.run(experiment).expect("golden experiment completes");
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = golden_dir().join(format!("{name}.json"));
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(&path, json).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        json,
+        want,
+        "report for `{name}` diverged from the pre-refactor golden \
+         ({}); if the change is intentional, regenerate with GOLDEN_REGEN=1",
+        path.display()
+    );
+}
+
+/// Fig 9's base config: 1x8x1 torus, 4 horizontal bidirectional rings.
+fn fig09_torus() -> SimConfig {
+    SimConfig::torus(1, 8, 1)
+        .local_rings(1)
+        .horizontal_rings(4)
+        .vertical_rings(1)
+}
+
+/// Fig 9's alltoall fabric grid cell: the base config with the topology
+/// axis applied (1x8 alltoall through 7 switches).
+fn fig09_alltoall() -> SimConfig {
+    let mut cfg = fig09_torus();
+    cfg.topology = SimConfig::alltoall(1, 8, 7).local_rings(1).topology;
+    cfg
+}
+
+/// Fig 10's symmetric-link base with one of its four shapes applied.
+fn fig10_shape(m: usize, n: usize, k: usize, lr: usize) -> SimConfig {
+    let mut cfg = SimConfig::torus(1, 64, 1).symmetric_links();
+    cfg.topology = SimConfig::torus(m, n, k)
+        .local_rings(lr)
+        .horizontal_rings(2)
+        .vertical_rings(2)
+        .topology;
+    cfg
+}
+
+/// The fault ablation's two-pod fabric.
+fn ablation_cfg() -> SimConfig {
+    SimConfig::torus(1, 4, 1)
+        .local_rings(1)
+        .horizontal_rings(1)
+        .vertical_rings(1)
+        .pods(2, 1)
+}
+
+/// The fault ablation's heaviest cell: 10% drop rate, 4x-degraded rings.
+fn ablation_heavy_plan() -> FaultPlan {
+    let mut p = FaultPlan {
+        seed: 2020,
+        ..FaultPlan::default()
+    };
+    p.loss = Some(LossSpec {
+        drop_rate: 0.1,
+        timeout: Time::from_cycles(2_000),
+        max_retries: 32,
+    });
+    for pod in 0..2usize {
+        for i in 0..4usize {
+            p.link_faults.push(LinkFault {
+                from: NodeId(pod * 4 + i),
+                to: NodeId(pod * 4 + (i + 1) % 4),
+                kind: FaultKind::Degrade { factor: 0.25 },
+                start: Time::ZERO,
+                end: Time::from_cycles(u64::MAX / 2),
+            });
+        }
+    }
+    p
+}
+
+#[test]
+fn fig09_allreduce_1mib_on_torus() {
+    golden(
+        "fig09_allreduce_1mib_torus",
+        fig09_torus(),
+        Experiment::all_reduce(1 << 20),
+    );
+}
+
+#[test]
+fn fig09_alltoall_64kib_on_alltoall() {
+    golden(
+        "fig09_alltoall_64kib_alltoall",
+        fig09_alltoall(),
+        Experiment::Collective(CollectiveRequest::all_to_all(64 << 10)),
+    );
+}
+
+#[test]
+fn fig10_allreduce_256kib_on_1x8x8() {
+    golden(
+        "fig10_allreduce_256kib_1x8x8",
+        fig10_shape(1, 8, 8, 1),
+        Experiment::all_reduce(256 << 10),
+    );
+}
+
+#[test]
+fn fig10_allreduce_4mib_on_4x4x4() {
+    golden(
+        "fig10_allreduce_4mib_4x4x4",
+        fig10_shape(4, 4, 4, 4),
+        Experiment::all_reduce(4 << 20),
+    );
+}
+
+#[test]
+fn fig17_resnet50_training_on_2x2x2() {
+    golden(
+        "fig17_resnet50_2x2x2",
+        SimConfig::torus(2, 2, 2),
+        Experiment::Training(calibrated_resnet50()),
+    );
+}
+
+#[test]
+fn ablation_faults_clean_pods() {
+    golden(
+        "ablation_faults_clean",
+        ablation_cfg(),
+        Experiment::all_reduce(1 << 20),
+    );
+}
+
+#[test]
+fn ablation_faults_heaviest_cell() {
+    golden(
+        "ablation_faults_heavy",
+        ablation_cfg().with_faults(ablation_heavy_plan()),
+        Experiment::all_reduce(1 << 20),
+    );
+}

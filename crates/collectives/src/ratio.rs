@@ -65,6 +65,13 @@ impl Ratio {
     }
 
     /// Adds two ratios (also available via the `+` operator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reduced sum no longer fits in `u64` terms. Traffic
+    /// factors are short sums of per-dimension fractions whose terms are
+    /// bounded by the NPU count, so this is unreachable for any
+    /// representable topology.
     pub fn checked_sum(self, other: Ratio) -> Ratio {
         // Cross-multiply in u128 to dodge overflow, then reduce.
         let num = self.num as u128 * other.den as u128 + other.num as u128 * self.den as u128;
@@ -84,6 +91,12 @@ impl Ratio {
 
     /// Applies the ratio to a byte count, rounding up (a fractional byte
     /// still occupies the wire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scaled count exceeds `u64::MAX` bytes — only possible
+    /// when the ratio is a blow-up factor (`num > den`) applied to an
+    /// already absurd payload.
     pub fn apply(self, bytes: u64) -> u64 {
         ((bytes as u128 * self.num as u128).div_ceil(self.den as u128))
             .try_into()

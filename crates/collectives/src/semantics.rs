@@ -28,6 +28,8 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Coordinates of a node along every dimension (inactive dims read 0).
 fn coords_of(topo: &LogicalTopology, node: NodeId) -> [usize; 5] {
     let mut c = [0usize; 5];
+    // infallible: every caller iterates node over 0..topo.num_npus(), so
+    // the coordinate lookups below always succeed.
     match topo {
         LogicalTopology::Torus3d(t) => {
             let Coord { l, h, v } = t.coord(node).expect("node in range");
@@ -267,11 +269,16 @@ fn verify_reduction_family(
                     ));
                 }
                 for (p, c) in &state[i] {
-                    let owner = slice
+                    let Some(owner) = slice
                         .iter()
                         .copied()
                         .find(|&j| piece_of(&coords[j], dims) == *p)
-                        .expect("every piece has an owner in the slice");
+                    else {
+                        return Err(format!(
+                            "all-gather: node {i} holds piece {p}, which no node \
+                             in its slice owns"
+                        ));
+                    };
                     if *c != BTreeSet::from([owner]) {
                         return Err(format!(
                             "all-gather: node {i} piece {p} has contributors {c:?}, want \
@@ -309,14 +316,18 @@ fn verify_a2a(
         let groups = build_groups(coords, phase.dim);
         for members in groups.values() {
             let mut moved: Vec<(usize, (usize, usize))> = Vec::new();
+            let mut missing: Option<usize> = None;
             for &m in members {
                 state[m].retain(|&(s, d)| {
                     let want = piece_coord(d, dims, phase.dim);
-                    let target = members
+                    let Some(target) = members
                         .iter()
                         .copied()
                         .find(|&y| coords[y][phase.dim.index()] == want)
-                        .expect("group covers all dim coordinates");
+                    else {
+                        missing.get_or_insert(d);
+                        return true;
+                    };
                     if target == m {
                         true
                     } else {
@@ -324,6 +335,13 @@ fn verify_a2a(
                         false
                     }
                 });
+            }
+            if let Some(d) = missing {
+                return Err(format!(
+                    "phase {idx}: piece {d} routes along {} to a coordinate no \
+                     group member occupies",
+                    phase.dim
+                ));
             }
             for (target, item) in moved {
                 state[target].insert(item);

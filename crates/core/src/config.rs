@@ -2,7 +2,7 @@
 
 use astra_collectives::Algorithm;
 use astra_network::{FaultPlan, NetworkConfig};
-use astra_system::{BackendKind, SystemConfig};
+use astra_system::{BackendKind, SchedulingPolicy, SystemConfig};
 use astra_topology::{HierAllToAll, LogicalTopology, PodFabric, Torus3d, TopologyError};
 use serde::{Deserialize, Serialize};
 
@@ -360,6 +360,14 @@ impl SimConfig {
         self
     }
 
+    /// Selects the ready-queue chunk-scheduling policy (Table III row 7):
+    /// LIFO (default), FIFO, or smallest-chunk-first priority.
+    #[must_use]
+    pub fn scheduling(mut self, policy: SchedulingPolicy) -> Self {
+        self.system.scheduling = policy;
+        self
+    }
+
     /// Gives intra-package links the inter-package technology ("links with
     /// same BW", the symmetric baselines of Figs 10 and 11).
     #[must_use]
@@ -475,6 +483,17 @@ mod tests {
     #[should_panic(expected = "no vertical dimension")]
     fn builder_rejects_mismatched_knob() {
         let _ = SimConfig::alltoall(1, 8, 7).vertical_rings(2);
+    }
+
+    #[test]
+    fn builder_sets_scheduling_policy() {
+        let c = SimConfig::torus(1, 8, 1).scheduling(SchedulingPolicy::Priority);
+        assert_eq!(c.system.scheduling, SchedulingPolicy::Priority);
+        // Default stays LIFO (Table III row 7).
+        assert_eq!(
+            SimConfig::torus(1, 8, 1).system.scheduling,
+            SchedulingPolicy::Lifo
+        );
     }
 
     #[test]

@@ -176,6 +176,22 @@ impl Simulator {
     /// Fails on empty collective requests, malformed workloads, or
     /// system-layer errors.
     pub fn run(&self, experiment: Experiment) -> Result<RunReport, CoreError> {
+        self.run_instrumented(experiment).map(|(report, _)| report)
+    }
+
+    /// Like [`run`](Simulator::run), but also returns the number of
+    /// discrete events the simulation processed. The event count is a
+    /// host-side throughput observation (events per wall-clock second is
+    /// the sweep engine's perf metric); it is deliberately **not** part of
+    /// [`RunReport`], which must stay a pure function of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`](Simulator::run).
+    pub fn run_instrumented(
+        &self,
+        experiment: Experiment,
+    ) -> Result<(RunReport, u64), CoreError> {
         match experiment {
             Experiment::Collective(req) => {
                 let mut sim = self.system_sim()?;
@@ -200,19 +216,22 @@ impl Simulator {
                     .report(id)
                     .ok_or(CoreError::MissingReport(id.0))?
                     .clone();
-                Ok(RunReport::Collective(Box::new(CollectiveRunReport {
+                let report = RunReport::Collective(Box::new(CollectiveRunReport {
                     duration: coll.duration(),
                     coll,
                     system: sim.stats().clone(),
                     network: sim.net_stats().clone(),
-                })))
+                }));
+                Ok((report, sim.events_processed()))
             }
             Experiment::Training(workload) => {
                 workload.validate().map_err(CoreError::Workload)?;
                 let sim = self.system_sim()?;
                 let runner = TrainingRunner::new(sim, workload, self.cfg.passes)
                     .map_err(CoreError::System)?;
-                runner.run().map_err(CoreError::System).map(RunReport::Training)
+                let (report, events) =
+                    runner.run_instrumented().map_err(CoreError::System)?;
+                Ok((RunReport::Training(report), events))
             }
         }
     }

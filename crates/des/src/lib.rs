@@ -43,10 +43,12 @@ mod engine;
 pub mod hash;
 mod queue;
 pub mod rng;
+mod slab;
 pub mod stats;
 mod time;
 
 pub use clock::Clock;
 pub use engine::{Engine, Model};
 pub use queue::EventQueue;
+pub use slab::{Slab, SlabKey};
 pub use time::Time;

@@ -126,9 +126,11 @@ impl SweepEngine {
 
         let computed = pending.len();
         let workers = self.workers.min(computed.max(1));
+        let mut events = 0u64;
         if computed > 0 {
             let injector = Mutex::new(pending.into_iter().collect::<VecDeque<usize>>());
             let slots = Mutex::new(&mut outcomes);
+            let event_total = Mutex::new(&mut events);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
@@ -136,8 +138,9 @@ impl SweepEngine {
                         else {
                             break;
                         };
-                        let outcome = PointOutcome::run(&points[index]);
+                        let (outcome, point_events) = PointOutcome::run(&points[index]);
                         slots.lock().expect("slots lock")[index] = Some(outcome);
+                        **event_total.lock().expect("events lock") += point_events;
                     });
                 }
             });
@@ -180,6 +183,7 @@ impl SweepEngine {
             deduped: duplicates.len(),
             workers,
             wall: started.elapsed(),
+            events,
         };
         Ok(SweepRun { report, stats })
     }
@@ -239,6 +243,33 @@ mod tests {
             "zero-byte collective must fail alone"
         );
         assert!(run.report.points[1].outcome.metrics().is_some());
+    }
+
+    #[test]
+    fn computed_points_accumulate_event_counts() {
+        let run = SweepEngine::new(small_spec()).workers(1).run().unwrap();
+        assert!(run.stats.events > 0, "simulated points must process events");
+        // Deterministic: the same spec always costs the same events.
+        let again = SweepEngine::new(small_spec()).workers(4).run().unwrap();
+        assert_eq!(run.stats.events, again.stats.events);
+        // Fully cached reruns simulate nothing.
+        let dir = std::env::temp_dir().join(format!(
+            "astra-sweep-events-{}",
+            std::process::id()
+        ));
+        let warm = SweepEngine::new(small_spec())
+            .cache_dir(&dir)
+            .run()
+            .unwrap();
+        assert_eq!(warm.stats.events, run.stats.events);
+        let cached = SweepEngine::new(small_spec())
+            .cache_dir(&dir)
+            .run()
+            .unwrap();
+        assert_eq!(cached.stats.computed, 0);
+        assert_eq!(cached.stats.events, 0);
+        assert_eq!(cached.report.to_json(), warm.report.to_json());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -106,15 +106,24 @@ pub enum PointOutcome {
 }
 
 impl PointOutcome {
-    /// Runs one point, capturing any error as an outcome.
-    pub(crate) fn run(point: &crate::SweepPoint) -> Self {
+    /// Runs one point, capturing any error as an outcome. Also returns the
+    /// number of discrete events the simulation processed — a host-side
+    /// throughput observation accumulated into [`SweepStats::events`],
+    /// never into the serialized outcome (cached points would otherwise
+    /// report different artifacts than computed ones).
+    pub(crate) fn run(point: &crate::SweepPoint) -> (Self, u64) {
         let result = Simulator::new(point.config.clone())
-            .and_then(|sim| sim.run(point.experiment.clone()));
+            .and_then(|sim| sim.run_instrumented(point.experiment.clone()));
         match result {
-            Ok(report) => PointOutcome::Ok(PointMetrics::from_report(&report)),
-            Err(e) => PointOutcome::Error {
-                message: e.to_string(),
-            },
+            Ok((report, events)) => {
+                (PointOutcome::Ok(PointMetrics::from_report(&report)), events)
+            }
+            Err(e) => (
+                PointOutcome::Error {
+                    message: e.to_string(),
+                },
+                0,
+            ),
         }
     }
 
@@ -222,6 +231,23 @@ pub struct SweepStats {
     pub workers: usize,
     /// Wall-clock time of the run.
     pub wall: Duration,
+    /// Discrete events processed across the points simulated this run
+    /// (cache hits and in-run duplicates contribute nothing). Divide by
+    /// [`wall`](SweepStats::wall) for the engine's events/sec throughput.
+    pub events: u64,
+}
+
+impl SweepStats {
+    /// Simulation throughput of the run in events per wall-clock second
+    /// (0.0 when nothing was simulated).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.events as f64 / secs
+        }
+    }
 }
 
 #[cfg(test)]

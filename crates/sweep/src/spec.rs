@@ -3,6 +3,7 @@
 
 use crate::SweepError;
 use astra_core::collectives::{Algorithm, CollectiveOp};
+use astra_core::system::SchedulingPolicy;
 use astra_core::{Experiment, FaultPlan, SimConfig, TopologyConfig};
 use astra_des::hash::fnv1a_64;
 use serde::{Deserialize, Serialize};
@@ -37,6 +38,9 @@ pub enum Axis {
     Passes(Vec<u32>),
     /// Fault plans; `None` is the fault-free configuration.
     Faults(Vec<Option<FaultPlan>>),
+    /// Ready-queue chunk-scheduling policies (Table III row 7), exercising
+    /// the system layer's pluggable `ChunkScheduler` seam.
+    Scheduling(Vec<SchedulingPolicy>),
 }
 
 impl Axis {
@@ -49,6 +53,7 @@ impl Axis {
             Axis::Algorithms(v) => v.len(),
             Axis::Passes(v) => v.len(),
             Axis::Faults(v) => v.len(),
+            Axis::Scheduling(v) => v.len(),
         }
     }
 
@@ -66,6 +71,7 @@ impl Axis {
             Axis::Algorithms(_) => "alg",
             Axis::Passes(_) => "passes",
             Axis::Faults(_) => "faults",
+            Axis::Scheduling(_) => "sched",
         }
     }
 
@@ -114,6 +120,10 @@ impl Axis {
                     None => "faults=none".into(),
                     Some(_) => format!("faults=plan#{i}"),
                 })
+            }
+            Axis::Scheduling(policies) => {
+                cfg.system.scheduling = policies[i];
+                Ok(format!("sched={}", policies[i]))
             }
         }
     }
@@ -312,6 +322,22 @@ mod tests {
         let pts = spec().expand().unwrap();
         assert_eq!(pts.len(), 1);
         assert_eq!(pts[0].label, "all-reduce 1024B");
+    }
+
+    #[test]
+    fn scheduling_axis_applies_policy_and_labels() {
+        let s = spec().axis(Axis::Scheduling(vec![
+            SchedulingPolicy::Lifo,
+            SchedulingPolicy::Fifo,
+            SchedulingPolicy::Priority,
+        ]));
+        let pts = s.expand().unwrap();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].label, "sched=lifo");
+        assert_eq!(pts[2].label, "sched=priority");
+        assert_eq!(pts[1].config.system.scheduling, SchedulingPolicy::Fifo);
+        // Distinct policies are distinct cache entries.
+        assert_ne!(pts[0].hash, pts[1].hash);
     }
 
     #[test]

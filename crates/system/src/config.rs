@@ -6,6 +6,10 @@ use serde::{Deserialize, Serialize};
 
 /// Order in which collectives drain from the ready queue
 /// (`scheduling-policy`, Table III row 7).
+///
+/// Each policy is a [`crate::ChunkScheduler`] implementation; the enum is
+/// the serializable configuration knob that selects one (and the sweep
+/// engine's `scheduling` axis sweeps over it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum SchedulingPolicy {
     /// Most recently issued collective first. §III-E motivates this: the
@@ -15,6 +19,39 @@ pub enum SchedulingPolicy {
     Lifo,
     /// Issue order.
     Fifo,
+    /// Smallest chunk first (shortest-job-first across every queued
+    /// collective), ties broken by issue order. Small "urgent" collectives
+    /// overtake bulk transfers without reordering chunks inside one
+    /// collective.
+    Priority,
+}
+
+impl std::fmt::Display for SchedulingPolicy {
+    /// The CLI / sweep-label spelling; round-trips through
+    /// [`SchedulingPolicy::from_str`](std::str::FromStr).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SchedulingPolicy::Lifo => "lifo",
+            SchedulingPolicy::Fifo => "fifo",
+            SchedulingPolicy::Priority => "priority",
+        })
+    }
+}
+
+impl std::str::FromStr for SchedulingPolicy {
+    type Err = String;
+
+    /// Parses the CLI / sweep-spec spelling (`lifo`, `fifo`, `priority`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lifo" => Ok(SchedulingPolicy::Lifo),
+            "fifo" => Ok(SchedulingPolicy::Fifo),
+            "priority" => Ok(SchedulingPolicy::Priority),
+            other => Err(format!(
+                "unknown scheduling policy `{other}` (expected lifo, fifo, or priority)"
+            )),
+        }
+    }
 }
 
 /// How bursts of messages from one algorithm action enter the network

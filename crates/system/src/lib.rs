@@ -9,11 +9,12 @@
 //! * **Chunking** — each issued collective ("set") is split into
 //!   `preferred-set-splits` chunks that are scheduled and pipelined
 //!   independently (Table II);
-//! * **Ready queue** — chunks wait here before dispatch; LIFO or FIFO
-//!   ordering across collectives implements the scheduling-policy knob
-//!   (Table III row 7). LIFO prioritizes the most recently issued
+//! * **Ready queue** — chunks wait here before dispatch, behind a
+//!   pluggable [`ChunkScheduler`] policy (the scheduling-policy knob,
+//!   Table III row 7): LIFO prioritizes the most recently issued
 //!   collective, which §III-E argues is what the first layers of
-//!   back-propagation need;
+//!   back-propagation need; FIFO keeps issue order; Priority dispatches
+//!   the smallest queued chunk first;
 //! * **Dispatcher** — issues `P` chunks whenever fewer than `T` chunks are
 //!   still in the first phase of their collective algorithm (§IV-B; §V-F
 //!   uses T=8, P=16);
@@ -61,14 +62,23 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod api;
 mod config;
+mod endpoint;
 mod error;
+mod routing;
+pub mod scheduler;
 mod sim;
 mod stats;
 mod tag;
+mod transport;
 
+pub use api::{CallbackId, CollId, CollectiveRequest, Notification};
 pub use config::{BackendKind, InjectionPolicy, SchedulingPolicy, SystemConfig};
 pub use error::SystemError;
-pub use sim::{CallbackId, CollId, CollectiveRequest, Notification, SystemSim};
+pub use scheduler::{
+    ChunkScheduler, FifoScheduler, LifoScheduler, PriorityScheduler, QueuedChunk,
+};
+pub use sim::SystemSim;
 pub use stats::{CollReport, PhaseSpan, SystemStats};
 pub use tag::Tag;

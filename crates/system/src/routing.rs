@@ -1,0 +1,201 @@
+//! Route synthesis and message injection: resolving a phase machine's
+//! relative send targets into source routes, the logical→physical overlay
+//! (§IV-B: "map a single logical topology on different physical
+//! topologies"), paced bursts, and the final injection gate in front of
+//! the network backend.
+//!
+//! This is the send half of the staged system layer; the receive half
+//! lives in `endpoint`. Both are sequenced by the event loop in `sim`.
+
+use crate::sim::{NetQ, SysEvent, SystemSim};
+use crate::{BackendKind, InjectionPolicy, SystemConfig, SystemError, Tag};
+use astra_collectives::{SendCmd, Target};
+use astra_des::Time;
+use astra_network::{AnalyticalNet, Backend, GarnetNet, Message, NetworkConfig};
+use astra_topology::{LogicalTopology, Mapping, NodeId, PathFinder, Route};
+use std::fmt;
+
+/// Logical→physical overlay state (§IV-B: "map a single logical topology
+/// on different physical topologies").
+pub(crate) struct Overlay {
+    pub(crate) mapping: Mapping,
+    /// physical NPU id -> logical NPU id.
+    pub(crate) inverse: Vec<usize>,
+    pub(crate) finder: PathFinder,
+    /// The physical fabric itself, kept for rebuilding exclusion routers
+    /// when links go down mid-run.
+    pub(crate) physical: LogicalTopology,
+}
+
+impl fmt::Debug for Overlay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Overlay")
+            .field("nodes", &self.inverse.len())
+            .finish()
+    }
+}
+
+impl SystemSim {
+    /// Builds a simulator whose *logical* topology (used for collective
+    /// synthesis and scheduling) differs from the *physical* fabric the
+    /// messages actually traverse — the paper's §IV-B flexibility: "map a
+    /// 3D logical topology on a 1D or 2D physical torus". `mapping`
+    /// permutes logical NPU ids onto physical NPU ids; logical
+    /// neighbor-sends become shortest-path physical routes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the mapping does not cover exactly the NPUs of both
+    /// topologies.
+    pub fn with_overlay(
+        logical: LogicalTopology,
+        physical: &LogicalTopology,
+        mapping: Mapping,
+        cfg: SystemConfig,
+        net_cfg: &NetworkConfig,
+        backend: BackendKind,
+    ) -> Result<Self, SystemError> {
+        if mapping.len() != logical.num_npus() || logical.num_npus() != physical.num_npus() {
+            return Err(SystemError::InvalidOverlay {
+                what: format!(
+                    "mapping covers {} nodes, logical has {}, physical has {}",
+                    mapping.len(),
+                    logical.num_npus(),
+                    physical.num_npus()
+                ),
+            });
+        }
+        let net: Box<dyn Backend> = match backend {
+            BackendKind::Analytical => Box::new(AnalyticalNet::new(physical, net_cfg)),
+            BackendKind::Garnet => Box::new(GarnetNet::new(physical, net_cfg)),
+        };
+        let mut inverse = vec![usize::MAX; physical.num_npus()];
+        for l in 0..logical.num_npus() {
+            inverse[mapping.apply(NodeId(l)).index()] = l;
+        }
+        let finder = PathFinder::new(physical);
+        let mut sim = Self::with_backend(logical, cfg, net_cfg, net);
+        sim.overlay = Some(Overlay {
+            mapping,
+            inverse,
+            finder,
+            physical: physical.clone(),
+        });
+        Ok(sim)
+    }
+
+    /// Resolves and injects a batch of sends from a phase machine.
+    pub(crate) fn issue_sends(
+        &mut self,
+        npu: usize,
+        coll: u64,
+        chunk: u32,
+        phase: u8,
+        sends: &[SendCmd],
+    ) -> Result<(), SystemError> {
+        if sends.is_empty() {
+            return Ok(());
+        }
+        let cs = self
+            .colls
+            .get(&coll)
+            .ok_or(SystemError::UnknownCollective { coll })?;
+        let spec = cs.plan.phases()[phase as usize];
+        let channel = chunk as usize % spec.concurrency.max(1);
+        let me = NodeId(npu);
+        let mut routes: Vec<(Route, u64, u32)> = Vec::with_capacity(sends.len());
+        for s in sends {
+            let route = match s.target {
+                Target::RingNext => self.topo.ring_route(spec.dim, channel, me, 1)?,
+                Target::RingDistance(d) => self.topo.ring_route(spec.dim, channel, me, d)?,
+                Target::GroupOffset(off) => {
+                    let group = self.topo.ring(spec.dim, channel, me)?;
+                    let dst = group.ahead(me, off)?;
+                    self.topo.switch_route(me, dst, channel)?
+                }
+                Target::GroupXor(mask) => {
+                    let group = self.topo.ring(spec.dim, channel, me)?;
+                    let pos = group.position(me)?;
+                    let partner = group.members()[pos ^ mask];
+                    if spec.on_rings {
+                        // Software-routed along the ring direction.
+                        let dist = ((pos ^ mask) + group.size() - pos) % group.size();
+                        self.topo.ring_route(spec.dim, channel, me, dist)?
+                    } else {
+                        self.topo.switch_route(me, partner, channel)?
+                    }
+                }
+            };
+            routes.push((route, s.bytes, s.step));
+        }
+        // Under the `normal` injection policy, bursts are paced: each
+        // subsequent message waits one first-link serialization time.
+        let gap = if self.cfg.injection == InjectionPolicy::Normal && routes.len() > 1 {
+            let params = self.net_cfg.link(spec.class);
+            let wire = params.wire_bytes(routes[0].1);
+            self.net_cfg.clock.serialization_time(wire, params.gbps)
+        } else {
+            Time::ZERO
+        };
+        for (k, (route, bytes, step)) in routes.into_iter().enumerate() {
+            let tag = Tag {
+                coll,
+                chunk,
+                phase,
+                step,
+            }
+            .pack();
+            // Under an overlay, the logical route only determines the
+            // destination; the message physically travels a shortest path
+            // on the real fabric (spread over parallel links by channel).
+            let (src, route) = match &mut self.overlay {
+                None => (me, route),
+                Some(o) => {
+                    let psrc = o.mapping.apply(me);
+                    let pdst = o.mapping.apply(route.dst());
+                    let proute = o.finder.route(psrc, pdst, channel)?;
+                    (psrc, proute)
+                }
+            };
+            let msg = Message::new(self.next_msg, src, route.dst(), bytes, tag);
+            self.next_msg += 1;
+            let delay = gap.scale(k as u64, 1);
+            if delay == Time::ZERO {
+                self.send_now(msg, route, 0)?;
+            } else {
+                let key = self.transport.park(msg, route, 0);
+                self.queue.schedule_in(delay, SysEvent::Inject(key));
+            }
+        }
+        Ok(())
+    }
+
+    /// Final injection gate: reroutes around hard-down links and applies
+    /// lossy scale-out transport before handing the message to the backend.
+    /// `attempt` counts prior transmissions of this payload (0 = original).
+    pub(crate) fn send_now(
+        &mut self,
+        msg: Message,
+        route: Route,
+        attempt: u32,
+    ) -> Result<(), SystemError> {
+        let now = self.queue.now();
+        let spray = Tag::unpack(msg.tag).chunk as usize;
+        let physical = match &self.overlay {
+            Some(o) => &o.physical,
+            None => &self.topo,
+        };
+        let route = self
+            .transport
+            .maybe_reroute(route, spray, now, physical, &mut self.stats)?;
+        if let Some(r) =
+            self.transport
+                .loss_gate(&msg, &route, attempt, &mut self.next_msg, &mut self.stats)?
+        {
+            let key = self.transport.park(r.retry, route.clone(), r.attempt);
+            self.queue.schedule_in(r.backoff, SysEvent::Retransmit(key));
+        }
+        self.net.send(&mut NetQ(&mut self.queue), msg, route)?;
+        Ok(())
+    }
+}

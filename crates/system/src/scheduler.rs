@@ -1,0 +1,269 @@
+//! Per-NPU chunk scheduling: the ready queue behind Fig 7's dispatcher.
+//!
+//! When a collective is issued, its chunks are *admitted* to every NPU's
+//! ready queue; the dispatcher later *pops* chunks one at a time whenever
+//! fewer than `T` chunks sit in the first phase of their plan. The order in
+//! which queued chunks pop is the `scheduling-policy` knob (Table III
+//! row 7), abstracted here behind the [`ChunkScheduler`] trait so a new
+//! policy is one impl — not surgery on the event loop.
+
+use crate::SchedulingPolicy;
+use astra_des::Time;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// One chunk waiting for dispatch on one NPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedChunk {
+    /// The collective the chunk belongs to.
+    pub coll: u64,
+    /// Chunk index within the collective.
+    pub chunk: u32,
+    /// Chunk payload size (scheduling policies may rank by it).
+    pub bytes: u64,
+    /// When the chunk entered the ready queue (for ready-delay stats).
+    pub queued_at: Time,
+}
+
+/// A per-NPU ready-queue policy.
+///
+/// The contract mirrors the seed implementation's `VecDeque` exactly:
+/// [`admit`](ChunkScheduler::admit) receives *all* chunks of a newly issued
+/// collective as one batch in chunk order, and
+/// [`pop`](ChunkScheduler::pop) yields the next chunk the dispatcher
+/// should issue. Implementations must be deterministic — equal admit
+/// sequences must produce equal pop sequences.
+///
+/// ```
+/// use astra_des::Time;
+/// use astra_system::{ChunkScheduler, QueuedChunk, SchedulingPolicy};
+///
+/// let batch = |coll, bytes| -> Vec<QueuedChunk> {
+///     (0..3)
+///         .map(|chunk| QueuedChunk { coll, chunk, bytes, queued_at: Time::ZERO })
+///         .collect()
+/// };
+/// // FIFO keeps issue order; LIFO puts the newest collective first; both
+/// // keep chunk order *within* a collective.
+/// let mut fifo = SchedulingPolicy::Fifo.scheduler();
+/// let mut lifo = SchedulingPolicy::Lifo.scheduler();
+/// for s in [&mut fifo, &mut lifo] {
+///     s.admit(&batch(0, 4096));
+///     s.admit(&batch(1, 1024));
+/// }
+/// let colls = |s: &mut Box<dyn ChunkScheduler>| -> Vec<u64> {
+///     std::iter::from_fn(|| s.pop()).map(|q| q.coll).collect()
+/// };
+/// assert_eq!(colls(&mut fifo), [0, 0, 0, 1, 1, 1]);
+/// assert_eq!(colls(&mut lifo), [1, 1, 1, 0, 0, 0]);
+/// ```
+pub trait ChunkScheduler: std::fmt::Debug + Send {
+    /// Admits all chunks of a newly issued collective, in chunk order.
+    fn admit(&mut self, batch: &[QueuedChunk]);
+
+    /// Removes and returns the next chunk to dispatch, or `None` when the
+    /// queue is empty.
+    fn pop(&mut self) -> Option<QueuedChunk>;
+
+    /// Number of chunks currently queued.
+    fn len(&self) -> usize;
+
+    /// Whether no chunks are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SchedulingPolicy {
+    /// Builds the scheduler implementing this policy (one per NPU).
+    pub fn scheduler(self) -> Box<dyn ChunkScheduler> {
+        match self {
+            SchedulingPolicy::Fifo => Box::new(FifoScheduler::default()),
+            SchedulingPolicy::Lifo => Box::new(LifoScheduler::default()),
+            SchedulingPolicy::Priority => Box::new(PriorityScheduler::default()),
+        }
+    }
+}
+
+/// Issue order: new collectives queue behind everything already waiting.
+#[derive(Debug, Default)]
+pub struct FifoScheduler {
+    queue: VecDeque<QueuedChunk>,
+}
+
+impl ChunkScheduler for FifoScheduler {
+    fn admit(&mut self, batch: &[QueuedChunk]) {
+        self.queue.extend(batch.iter().copied());
+    }
+
+    fn pop(&mut self) -> Option<QueuedChunk> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Most recently issued collective first: a new batch jumps the whole
+/// queue, keeping its internal chunk order (the seed enum's
+/// `push_front`-in-reverse semantics, §III-E's back-propagation argument).
+#[derive(Debug, Default)]
+pub struct LifoScheduler {
+    queue: VecDeque<QueuedChunk>,
+}
+
+impl ChunkScheduler for LifoScheduler {
+    fn admit(&mut self, batch: &[QueuedChunk]) {
+        for q in batch.iter().rev() {
+            self.queue.push_front(*q);
+        }
+    }
+
+    fn pop(&mut self) -> Option<QueuedChunk> {
+        self.queue.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Heap entry ordered smallest-bytes-first, ties by (coll, chunk) issue
+/// order. `BinaryHeap` is a max-heap, so the comparison is reversed.
+#[derive(Debug, PartialEq, Eq)]
+struct Ranked(QueuedChunk);
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let key = |q: &QueuedChunk| (q.bytes, q.coll, q.chunk);
+        key(&other.0).cmp(&key(&self.0))
+    }
+}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Shortest-job-first: the smallest queued chunk dispatches next, so small
+/// latency-critical collectives overtake bulk transfers. Deterministic: ties
+/// break by issue order (collective id, then chunk index).
+#[derive(Debug, Default)]
+pub struct PriorityScheduler {
+    heap: BinaryHeap<Ranked>,
+}
+
+impl ChunkScheduler for PriorityScheduler {
+    fn admit(&mut self, batch: &[QueuedChunk]) {
+        self.heap.extend(batch.iter().copied().map(Ranked));
+    }
+
+    fn pop(&mut self) -> Option<QueuedChunk> {
+        self.heap.pop().map(|r| r.0)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+/// One NPU's scheduling state: its ready queue plus Fig 7's dispatcher
+/// accounting.
+#[derive(Debug)]
+pub(crate) struct Npu {
+    /// The ready queue, behind the configured policy.
+    pub(crate) sched: Box<dyn ChunkScheduler>,
+    /// Chunks dispatched but still in phase 0 of their plan.
+    pub(crate) active_first_phase: usize,
+}
+
+impl Npu {
+    pub(crate) fn new(policy: SchedulingPolicy) -> Self {
+        Npu {
+            sched: policy.scheduler(),
+            active_first_phase: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(coll: u64, chunks: u32, bytes: u64) -> Vec<QueuedChunk> {
+        (0..chunks)
+            .map(|chunk| QueuedChunk {
+                coll,
+                chunk,
+                bytes,
+                queued_at: Time::from_cycles(coll),
+            })
+            .collect()
+    }
+
+    fn drain(s: &mut dyn ChunkScheduler) -> Vec<(u64, u32)> {
+        std::iter::from_fn(|| s.pop()).map(|q| (q.coll, q.chunk)).collect()
+    }
+
+    #[test]
+    fn fifo_preserves_issue_and_chunk_order() {
+        let mut s = FifoScheduler::default();
+        s.admit(&batch(0, 3, 100));
+        s.admit(&batch(1, 2, 100));
+        assert_eq!(s.len(), 5);
+        assert_eq!(drain(&mut s), [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1)]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn lifo_prioritizes_newest_collective_keeping_chunk_order() {
+        let mut s = LifoScheduler::default();
+        s.admit(&batch(0, 3, 100));
+        s.admit(&batch(1, 2, 100));
+        assert_eq!(drain(&mut s), [(1, 0), (1, 1), (0, 0), (0, 1), (0, 2)]);
+    }
+
+    #[test]
+    fn lifo_batch_admitted_mid_drain_still_jumps_queue() {
+        let mut s = LifoScheduler::default();
+        s.admit(&batch(0, 2, 100));
+        assert_eq!(s.pop().map(|q| q.coll), Some(0));
+        s.admit(&batch(1, 2, 100));
+        assert_eq!(drain(&mut s), [(1, 0), (1, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn priority_ranks_by_bytes_then_issue_order() {
+        let mut s = PriorityScheduler::default();
+        s.admit(&batch(0, 2, 4096));
+        s.admit(&batch(1, 2, 512));
+        s.admit(&batch(2, 1, 4096));
+        assert_eq!(
+            drain(&mut s),
+            [(1, 0), (1, 1), (0, 0), (0, 1), (2, 0)],
+            "small collective first; equal sizes fall back to issue order"
+        );
+    }
+
+    #[test]
+    fn policy_factory_builds_matching_impls() {
+        for (policy, want) in [
+            (SchedulingPolicy::Fifo, [(0, 0), (1, 0)]),
+            (SchedulingPolicy::Lifo, [(1, 0), (0, 0)]),
+            (SchedulingPolicy::Priority, [(1, 0), (0, 0)]),
+        ] {
+            let mut s = policy.scheduler();
+            s.admit(&batch(0, 1, 4096));
+            s.admit(&batch(1, 1, 64));
+            assert_eq!(drain(s.as_mut()), want, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn queued_at_travels_with_the_chunk() {
+        let mut s = SchedulingPolicy::Lifo.scheduler();
+        s.admit(&batch(7, 1, 10));
+        assert_eq!(s.pop().map(|q| q.queued_at), Some(Time::from_cycles(7)));
+    }
+}

@@ -141,7 +141,19 @@ impl TrainingRunner {
     /// # Errors
     ///
     /// Propagates system-layer failures (plan synthesis, routing).
-    pub fn run(mut self) -> Result<TrainingReport, SystemError> {
+    pub fn run(self) -> Result<TrainingReport, SystemError> {
+        self.run_instrumented().map(|(report, _)| report)
+    }
+
+    /// Like [`run`](TrainingRunner::run), but also returns the number of
+    /// discrete events the underlying simulation processed — the host-side
+    /// throughput denominator (events/sec). Never part of the report, which
+    /// must stay a pure function of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates system-layer failures (plan synthesis, routing).
+    pub fn run_instrumented(mut self) -> Result<(TrainingReport, u64), SystemError> {
         for npu in 0..self.n {
             self.start_fwd(npu, 0, 0)?;
         }
@@ -168,7 +180,8 @@ impl TrainingRunner {
             }
         }
         self.sim.run_until_idle()?;
-        Ok(self.assemble())
+        let events = self.sim.events_processed();
+        Ok((self.assemble(), events))
     }
 
     // ---- state machine ------------------------------------------------

@@ -15,7 +15,7 @@ use astra_sim::compute::ComputeModel;
 use astra_sim::collectives::{Algorithm, CollectiveOp};
 use astra_sim::output::{fault_table, fmt_time, training_table};
 use astra_sim::sweep::{Axis, SweepEngine, SweepSpec};
-use astra_sim::system::CollectiveRequest;
+use astra_sim::system::{CollectiveRequest, SchedulingPolicy};
 use astra_sim::workload::{parser, zoo, Workload};
 use astra_sim::{Experiment, FaultPlan, SimConfig, Simulator, TopologyConfig};
 use std::process::ExitCode;
@@ -26,13 +26,16 @@ fn usage() -> ExitCode {
 
 USAGE:
   astra-sim collective --topology <SHAPE> --op <OP> --bytes <N>
-                       [--enhanced] [--json] [--trace <FILE>] [--faults <FILE>]
+                       [--enhanced] [--scheduling <SCHED>] [--json]
+                       [--trace <FILE>] [--faults <FILE>]
   astra-sim train      --topology <SHAPE> (--model <NAME> | --workload <FILE>)
-                       [--passes <N>] [--minibatch <N>] [--json] [--faults <FILE>]
+                       [--passes <N>] [--minibatch <N>] [--scheduling <SCHED>]
+                       [--json] [--faults <FILE>]
   astra-sim export     --model <NAME> --out <FILE>
   astra-sim sweep      (--spec <FILE> | --topology <SHAPE,...>)
                        [--op <OP,...>] [--sizes <N,...>] [--algorithms <ALG,...>]
-                       [--faults <FILE>] [--name <NAME>] [--workers <N>]
+                       [--scheduling <SCHED,...>] [--faults <FILE>]
+                       [--name <NAME>] [--workers <N>]
                        [--cache-dir <DIR>] [--out-dir <DIR>] [--json]
 
 SHAPE:  MxNxK       torus (local x horizontal x vertical), e.g. 2x4x4
@@ -41,6 +44,8 @@ SHAPE:  MxNxK       torus (local x horizontal x vertical), e.g. 2x4x4
 OP:     all-reduce | all-gather | reduce-scatter | all-to-all
 MODEL:  resnet50 | vgg16 | transformer | gpt | dlrm | tiny_mlp
 ALG:    baseline | enhanced
+SCHED:  lifo | fifo | priority   (ready-queue chunk-scheduling policy,
+        Table III row 7; default lifo)
 FAULTS: a JSON fault plan (seeded link degradation/outage windows, straggler
         NPUs, lossy scale-out transport); same (seed, plan) replays are
         cycle-identical
@@ -174,6 +179,9 @@ fn cmd_collective(args: &Args) -> Result<(), String> {
     if args.has("enhanced") {
         cfg.system.algorithm = Algorithm::Enhanced;
     }
+    if let Some(policy) = args.get("scheduling") {
+        cfg.system.scheduling = policy.parse()?;
+    }
     if let Some(path) = args.get("faults") {
         cfg.faults = Some(load_faults(path)?);
     }
@@ -229,6 +237,9 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let mut cfg = parse_topology(args.get("topology").ok_or("--topology required")?)?;
     if let Some(p) = args.get("passes") {
         cfg.passes = p.parse().map_err(|_| "--passes must be an integer")?;
+    }
+    if let Some(policy) = args.get("scheduling") {
+        cfg.system.scheduling = policy.parse()?;
     }
     if let Some(path) = args.get("faults") {
         cfg.faults = Some(load_faults(path)?);
@@ -315,6 +326,13 @@ fn inline_spec(args: &Args) -> Result<SweepSpec, String> {
             .collect::<Result<_, _>>()?;
         spec = spec.axis(Axis::MessageSizes(sizes));
     }
+    if let Some(policies) = args.get("scheduling") {
+        let policies: Vec<SchedulingPolicy> = policies
+            .split(',')
+            .map(str::parse)
+            .collect::<Result<_, _>>()?;
+        spec = spec.axis(Axis::Scheduling(policies));
+    }
     if let Some(path) = args.get("faults") {
         spec = spec.axis(Axis::Faults(vec![None, Some(load_faults(path)?)]));
     }
@@ -357,7 +375,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("{out_dir}: {e}"))?;
     eprintln!(
         "sweep `{}`: {} points ({} simulated, {} cache hits, {} deduped) \
-         on {} workers in {:.3}s -> {}",
+         on {} workers in {:.3}s ({:.0} events/s) -> {}",
         run.report.name,
         run.stats.points,
         run.stats.computed,
@@ -365,6 +383,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
         run.stats.deduped,
         run.stats.workers,
         run.stats.wall.as_secs_f64(),
+        run.stats.events_per_sec(),
         path.display()
     );
     Ok(())
