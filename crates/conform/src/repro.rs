@@ -1,0 +1,75 @@
+//! Divergence repro bundles: a failing case, minimized and serialized.
+//!
+//! When an oracle fails, the harness shrinks the configuration to a minimal
+//! still-failing one and dumps it as JSON. The bundle round-trips through
+//! serde, so a failure found by CI's pinned-seed fuzz run can be replayed
+//! locally byte-for-byte (the whole simulator is deterministic).
+
+use crate::fuzz::ConformCase;
+use astra_des::hash::fnv1a_64;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Environment variable overriding where repro bundles are written.
+pub const REPRO_DIR_ENV: &str = "CONFORM_REPRO_DIR";
+
+/// A minimized failing case plus the failure it reproduces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproBundle {
+    /// The fuzzer seed the case came from (`None` for hand-written matrix
+    /// cases).
+    pub seed: Option<u64>,
+    /// Which oracle rejected the case.
+    pub oracle: String,
+    /// The minimized failing case.
+    pub case: ConformCase,
+    /// The failure message at the minimized case.
+    pub failure: String,
+}
+
+/// The directory repro bundles go to: `$CONFORM_REPRO_DIR` if set,
+/// `target/conform-repros` otherwise.
+pub fn repro_dir() -> PathBuf {
+    std::env::var_os(REPRO_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("target").join("conform-repros"))
+}
+
+/// Serializes `bundle` into [`repro_dir`] under a content-hashed file name
+/// and returns the path. Failures to write are reported, not fatal — the
+/// oracle's own error already carries the diagnosis.
+///
+/// # Errors
+///
+/// An I/O or serialization error message.
+pub fn dump_repro(bundle: &ReproBundle) -> Result<PathBuf, String> {
+    let json = serde_json::to_string_pretty(bundle).map_err(|e| e.to_string())?;
+    let dir = repro_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let path = dir.join(format!("repro-{:016x}.json", fnv1a_64(json.as_bytes())));
+    std::fs::write(&path, json).map_err(|e| e.to_string())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use astra_core::SimConfig;
+    use astra_system::CollectiveRequest;
+
+    #[test]
+    fn bundle_round_trips_through_json() {
+        let b = ReproBundle {
+            seed: Some(42),
+            oracle: "differential".into(),
+            case: ConformCase {
+                config: SimConfig::torus(1, 4, 1),
+                request: CollectiveRequest::all_reduce(1024),
+            },
+            failure: "duration ratio 9.0 outside [0.05, 1.5]".into(),
+        };
+        let json = serde_json::to_string(&b).unwrap();
+        let back: ReproBundle = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

@@ -40,6 +40,14 @@ pub trait Model {
 
     /// Handles one event at time `time`, possibly scheduling more.
     fn handle(&mut self, time: Time, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+
+    /// Audits the model's internal invariants (conservation laws, arena
+    /// consistency, …). Called by [`Engine::step`] after every event — but
+    /// only when the `conform-checks` feature is enabled, so the default
+    /// always-`Ok` implementation costs nothing in normal builds.
+    fn check_invariants(&self) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// Drives a [`Model`] until its event queue drains.
@@ -82,6 +90,10 @@ impl<M: Model> Engine<M> {
         match self.queue.pop() {
             Some((t, ev)) => {
                 self.model.handle(t, ev, &mut self.queue);
+                #[cfg(feature = "conform-checks")]
+                if let Err(violation) = self.model.check_invariants() {
+                    panic!("conform-checks: model invariant violated at t={t}: {violation}");
+                }
                 true
             }
             None => false,

@@ -52,6 +52,10 @@ pub struct EventQueue<E> {
     seq: u64,
     now: Time,
     popped: u64,
+    /// `(time, seq)` of the most recent pop, for the conformance harness's
+    /// monotonicity / FIFO-stability invariant (see `conform-checks`).
+    #[cfg(feature = "conform-checks")]
+    last_pop: Option<(Time, u64)>,
 }
 
 impl<E> EventQueue<E> {
@@ -62,6 +66,8 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: Time::ZERO,
             popped: 0,
+            #[cfg(feature = "conform-checks")]
+            last_pop: None,
         }
     }
 
@@ -107,6 +113,21 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let Reverse(entry) = self.heap.pop()?;
         debug_assert!(entry.time >= self.now, "event heap yielded a past event");
+        #[cfg(feature = "conform-checks")]
+        {
+            if let Some((last_time, last_seq)) = self.last_pop {
+                assert!(
+                    (entry.time, entry.seq) > (last_time, last_seq),
+                    "conform-checks: event queue pop order violated: \
+                     popped (t={}, seq={}) after (t={}, seq={})",
+                    entry.time,
+                    entry.seq,
+                    last_time,
+                    last_seq
+                );
+            }
+            self.last_pop = Some((entry.time, entry.seq));
+        }
         self.now = entry.time;
         self.popped += 1;
         Some((entry.time, entry.payload))

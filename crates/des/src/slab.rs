@@ -53,7 +53,6 @@ const FREE_END: u32 = u32::MAX;
 /// assert_eq!(c.index(), a.index());
 /// assert_eq!(slab.len(), 2);
 /// assert_eq!(slab.remove(b), Some("retransmit-timer"));
-/// assert_eq!(slab.remove(b), None);
 /// let _ = c;
 /// ```
 #[derive(Debug)]
@@ -122,11 +121,30 @@ impl<T> Slab<T> {
 
     /// Removes and returns the entry under `key`, or `None` if it was
     /// already removed. The slot goes to the head of the free list.
+    ///
+    /// # Panics
+    ///
+    /// With the `conform-checks` feature enabled, removing a dead key
+    /// (out of range or already freed) panics instead of returning `None`:
+    /// in a correct simulation every parked payload is claimed exactly
+    /// once, so a dead-key remove indicates a double-free.
     pub fn remove(&mut self, key: SlabKey) -> Option<T> {
-        let slot = self.slots.get_mut(key.0 as usize)?;
-        if matches!(slot, Slot::Vacant(_)) {
+        let dead = match self.slots.get(key.0 as usize) {
+            Some(Slot::Occupied(_)) => false,
+            Some(Slot::Vacant(_)) | None => true,
+        };
+        if dead {
+            #[cfg(feature = "conform-checks")]
+            panic!(
+                "conform-checks: slab double-free or invalid key {} (live={}, slots={})",
+                key.0,
+                self.len,
+                self.slots.len()
+            );
+            #[cfg(not(feature = "conform-checks"))]
             return None;
         }
+        let slot = &mut self.slots[key.0 as usize];
         let taken = std::mem::replace(slot, Slot::Vacant(self.free_head));
         self.free_head = key.0;
         self.len -= 1;
@@ -186,11 +204,22 @@ mod tests {
     }
 
     #[test]
+    #[cfg(not(feature = "conform-checks"))]
     fn double_remove_is_none() {
         let mut slab = Slab::new();
         let k = slab.insert("x");
         assert_eq!(slab.remove(k), Some("x"));
         assert_eq!(slab.remove(k), None);
+    }
+
+    #[test]
+    #[cfg(feature = "conform-checks")]
+    #[should_panic(expected = "double-free")]
+    fn double_remove_panics_under_conform_checks() {
+        let mut slab = Slab::new();
+        let k = slab.insert("x");
+        assert_eq!(slab.remove(k), Some("x"));
+        let _ = slab.remove(k);
     }
 
     #[test]

@@ -315,6 +315,16 @@ impl Backend for AnalyticalNet {
         self.inflight.len()
     }
 
+    fn audit_quiescent(&self) -> Result<(), String> {
+        if !self.inflight.is_empty() {
+            return Err(format!(
+                "analytical: {} message(s) still in flight",
+                self.inflight.len()
+            ));
+        }
+        Ok(())
+    }
+
     fn install_link_faults(&mut self, plan: &FaultPlan) {
         if plan.link_faults.is_empty() {
             self.fault_windows.clear();

@@ -422,6 +422,13 @@ impl Backend for GarnetNet {
                 self.on_flit_arrive(queue, link, flit_seq, packet, arrivals);
             }
             NetEvent::Credit { link, vc } => {
+                #[cfg(feature = "conform-checks")]
+                assert!(
+                    self.links[link].vcs[vc].credits < self.config.buffers_per_vc,
+                    "conform-checks: credit overflow on link {link} vc {vc}: \
+                     returning a credit would exceed buffers_per_vc={}",
+                    self.config.buffers_per_vc
+                );
                 self.links[link].vcs[vc].credits += 1;
                 self.try_transmit(queue, link);
             }
@@ -437,6 +444,41 @@ impl Backend for GarnetNet {
 
     fn in_flight(&self) -> usize {
         self.messages.len()
+    }
+
+    fn audit_quiescent(&self) -> Result<(), String> {
+        if !self.messages.is_empty() {
+            return Err(format!(
+                "garnet: {} message(s) still in flight",
+                self.messages.len()
+            ));
+        }
+        if !self.packets.is_empty() {
+            return Err(format!(
+                "garnet: {} packet(s) leaked after all messages delivered",
+                self.packets.len()
+            ));
+        }
+        for (idx, link) in self.links.iter().enumerate() {
+            if link.busy {
+                return Err(format!("garnet: link {idx} still busy at quiescence"));
+            }
+            for (vc, st) in link.vcs.iter().enumerate() {
+                if !st.queue.is_empty() {
+                    return Err(format!(
+                        "garnet: link {idx} vc {vc} holds {} undelivered flit(s)",
+                        st.queue.len()
+                    ));
+                }
+                if st.credits != self.config.buffers_per_vc {
+                    return Err(format!(
+                        "garnet: link {idx} vc {vc} credit imbalance: {} of {} restored",
+                        st.credits, self.config.buffers_per_vc
+                    ));
+                }
+            }
+        }
+        Ok(())
     }
 
     fn install_link_faults(&mut self, plan: &FaultPlan) {

@@ -178,4 +178,20 @@ pub trait Backend {
     /// The default implementation ignores the plan, so backends that model
     /// no link state remain valid `Backend`s.
     fn install_link_faults(&mut self, _plan: &FaultPlan) {}
+
+    /// Audits that the backend has reached a quiescent state: no message,
+    /// packet, or flit state left in flight and every conserved resource
+    /// (e.g. Garnet's per-VC credits) restored to its initial level.
+    ///
+    /// The conformance harness calls this after a simulation drains to
+    /// detect leaked in-flight state and credit/flit conservation bugs.
+    /// Always compiled (it runs on demand, not per event); the default
+    /// implementation accepts any state.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation found.
+    fn audit_quiescent(&self) -> Result<(), String> {
+        Ok(())
+    }
 }

@@ -140,7 +140,10 @@ impl SweepEngine {
                         };
                         let (outcome, point_events) = PointOutcome::run(&points[index]);
                         slots.lock().expect("slots lock")[index] = Some(outcome);
-                        **event_total.lock().expect("events lock") += point_events;
+                        accumulate_events(
+                            *event_total.lock().expect("events lock"),
+                            point_events,
+                        );
                     });
                 }
             });
@@ -189,6 +192,14 @@ impl SweepEngine {
     }
 }
 
+/// Folds one point's event count into the sweep total, saturating at
+/// `u64::MAX`. Huge sweeps legitimately approach the counter's range; a
+/// pegged total is a usable diagnostic, a wrapped (or, in debug builds,
+/// panicking) one is not.
+fn accumulate_events(total: &mut u64, point_events: u64) {
+    *total = total.saturating_add(point_events);
+}
+
 /// Convenience: runs `spec` with default workers and no cache.
 ///
 /// # Errors
@@ -203,6 +214,18 @@ mod tests {
     use super::*;
     use crate::Axis;
     use astra_core::{Experiment, SimConfig};
+
+    #[test]
+    fn event_accumulation_saturates_instead_of_wrapping() {
+        let mut total = 0u64;
+        accumulate_events(&mut total, 10);
+        accumulate_events(&mut total, 32);
+        assert_eq!(total, 42);
+        accumulate_events(&mut total, u64::MAX - 1);
+        assert_eq!(total, u64::MAX, "overflow must peg, not wrap or panic");
+        accumulate_events(&mut total, 1);
+        assert_eq!(total, u64::MAX, "the pegged total stays pegged");
+    }
 
     fn small_spec() -> SweepSpec {
         SweepSpec::new(

@@ -235,6 +235,38 @@ impl SystemSim {
         self.reports.get(&coll.0)
     }
 
+    /// Audits that the whole stack is quiescent: no pending events, no
+    /// in-flight collectives, an empty transport arena, and a backend whose
+    /// conserved resources (credits, flits, in-flight maps) are restored.
+    ///
+    /// The conformance harness calls this after a simulation drains to catch
+    /// leaked state that aggregate statistics would never show.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violation found.
+    pub fn audit_quiescent(&self) -> Result<(), String> {
+        if !self.queue.is_empty() {
+            return Err(format!(
+                "system: {} event(s) still queued at quiescence",
+                self.queue.len()
+            ));
+        }
+        if !self.colls.is_empty() {
+            return Err(format!(
+                "system: {} collective(s) still in flight",
+                self.colls.len()
+            ));
+        }
+        if !self.transport.arena_is_empty() {
+            return Err(format!(
+                "system: transport arena holds {} unclaimed parked send(s)",
+                self.transport.arena_len()
+            ));
+        }
+        self.net.audit_quiescent()
+    }
+
     /// Issues a collective on every NPU. Each NPU gets its own
     /// [`Notification::CollectiveDone`] when its participation finishes.
     ///

@@ -27,6 +27,7 @@ pub(crate) struct PendingSend {
 
 /// A retransmission decision from [`Transport::loss_gate`]: the replacement
 /// message, the backed-off delay, and its attempt counter.
+#[derive(Debug)]
 pub(crate) struct Retransmission {
     pub(crate) retry: Message,
     pub(crate) backoff: Time,
@@ -86,6 +87,17 @@ impl Transport {
         self.pending.remove(key).ok_or_else(|| SystemError::Protocol {
             what: format!("no parked send under arena key {}", key.index()),
         })
+    }
+
+    /// Whether the parked-send arena is empty (every parked payload was
+    /// claimed back); part of the quiescence audit.
+    pub(crate) fn arena_is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of parked payloads still in the arena.
+    pub(crate) fn arena_len(&self) -> usize {
+        self.pending.len()
     }
 
     /// Whether `id` was dropped in transit; consumes the doomed marker.
@@ -182,8 +194,8 @@ impl Transport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use astra_network::LossSpec;
-    use astra_topology::Torus3d;
+    use astra_network::{FaultKind, LinkFault, LossSpec};
+    use astra_topology::{PodFabric, Torus3d};
 
     fn ring4() -> LogicalTopology {
         LogicalTopology::torus(Torus3d::new(1, 4, 1, 1, 1, 1).unwrap())
@@ -202,10 +214,10 @@ mod tests {
         let p = t.claim(key).unwrap();
         assert_eq!(p.msg.bytes, 512);
         assert_eq!(p.attempt, 2);
-        assert!(matches!(
-            t.claim(key),
-            Err(SystemError::Protocol { .. })
-        ));
+        // Under conform-checks a double-claim panics in the slab instead of
+        // surfacing the typed protocol error.
+        #[cfg(not(feature = "conform-checks"))]
+        assert!(matches!(t.claim(key), Err(SystemError::Protocol { .. })));
     }
 
     #[test]
@@ -229,6 +241,150 @@ mod tests {
             .unwrap();
         assert!(out.is_none(), "no scale-out hop, no loss");
         assert_eq!(stats.drops, 0);
+    }
+
+    fn scale_out_plumbing() -> (LogicalTopology, Route) {
+        let fabric = PodFabric::new(Torus3d::new(1, 2, 1, 1, 1, 1).unwrap(), 2, 1).unwrap();
+        let topo = LogicalTopology::pods(fabric);
+        let route = topo.ring_route(Dim::ScaleOut, 0, NodeId(0), 1).unwrap();
+        assert!(route.hops().iter().any(|h| h.channel.dim == Dim::ScaleOut));
+        (topo, route)
+    }
+
+    fn lossy(drop_rate: f64, max_retries: u32) -> Transport {
+        let mut t = Transport::new();
+        t.install(&FaultPlan {
+            seed: 7,
+            loss: Some(LossSpec {
+                drop_rate,
+                timeout: Time::from_cycles(100),
+                max_retries,
+            }),
+            ..FaultPlan::default()
+        });
+        t
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let (_, route) = scale_out_plumbing();
+        let mut t = lossy(1.0, 64);
+        let msg = Message::new(0, NodeId(0), NodeId(2), 512, 0);
+        let mut next = 1;
+        let mut stats = SystemStats::default();
+        for attempt in 0..4 {
+            let r = t
+                .loss_gate(&msg, &route, attempt, &mut next, &mut stats)
+                .unwrap()
+                .expect("drop_rate 1.0 always drops");
+            assert_eq!(r.backoff, Time::from_cycles(100 << attempt));
+            assert_eq!(r.attempt, attempt + 1);
+        }
+        assert_eq!(stats.drops, 4);
+        assert_eq!(stats.retransmits, 4);
+    }
+
+    #[test]
+    fn backoff_shift_saturates_at_attempt_31() {
+        let (_, route) = scale_out_plumbing();
+        let mut t = lossy(1.0, u32::MAX);
+        let msg = Message::new(0, NodeId(0), NodeId(2), 512, 0);
+        let mut next = 1;
+        let mut stats = SystemStats::default();
+        // Attempts beyond 31 must not overflow the shift: the backoff
+        // plateaus at timeout * 2^31 instead.
+        let r40 = t
+            .loss_gate(&msg, &route, 40, &mut next, &mut stats)
+            .unwrap()
+            .unwrap();
+        let r31 = t
+            .loss_gate(&msg, &route, 31, &mut next, &mut stats)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r40.backoff, r31.backoff);
+        assert_eq!(r31.backoff, Time::from_cycles(100 << 31));
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_typed_error() {
+        let (_, route) = scale_out_plumbing();
+        let mut t = lossy(1.0, 3);
+        let msg = Message::new(9, NodeId(0), NodeId(2), 512, 0);
+        let mut next = 10;
+        let mut stats = SystemStats::default();
+        match t.loss_gate(&msg, &route, 3, &mut next, &mut stats) {
+            Err(SystemError::RetriesExhausted { from, to, attempts }) => {
+                assert_eq!(from, NodeId(0));
+                assert_eq!(to, NodeId(2));
+                assert_eq!(attempts, 4);
+            }
+            other => panic!("want RetriesExhausted, got {other:?}"),
+        }
+        // The terminal drop is still counted, but nothing retransmits and
+        // no doomed marker leaks for a message that will never arrive.
+        assert_eq!(stats.drops, 1);
+        assert_eq!(stats.retransmits, 0);
+        assert_eq!(next, 10, "no fresh message id consumed");
+    }
+
+    #[test]
+    fn retransmissions_carry_fresh_ids_and_doom_the_original() {
+        let (_, route) = scale_out_plumbing();
+        let mut t = lossy(1.0, 8);
+        let msg = Message::new(5, NodeId(0), NodeId(2), 256, 3);
+        let mut next = 6;
+        let mut stats = SystemStats::default();
+        let r = t
+            .loss_gate(&msg, &route, 0, &mut next, &mut stats)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.retry.id, MsgId(6));
+        assert_eq!(next, 7);
+        assert_eq!((r.retry.src, r.retry.dst), (msg.src, msg.dst));
+        assert_eq!((r.retry.bytes, r.retry.tag), (msg.bytes, msg.tag));
+        assert!(t.consume_doomed(&msg.id), "original must be doomed");
+        assert!(!t.consume_doomed(&msg.id), "doomed marker is consumed once");
+    }
+
+    #[test]
+    fn parked_sends_drain_through_reroute() {
+        // A down link forces the claimed sends through the reroute path;
+        // the arena must drain to empty either way (quiescence audit).
+        let topo = ring4();
+        let mut t = Transport::new();
+        t.install(&FaultPlan {
+            seed: 1,
+            link_faults: vec![LinkFault {
+                from: NodeId(0),
+                to: NodeId(1),
+                kind: FaultKind::Down,
+                start: Time::ZERO,
+                end: Time::from_cycles(1_000),
+            }],
+            ..FaultPlan::default()
+        });
+        let mut keys = Vec::new();
+        for i in 0..3u64 {
+            let msg = Message::new(i, NodeId(0), NodeId(1), 128, 0);
+            keys.push(t.park(msg, intra_route(&topo), 0));
+        }
+        assert_eq!(t.arena_len(), 3);
+        let mut stats = SystemStats::default();
+        for key in keys {
+            let p = t.claim(key).unwrap();
+            let rerouted = t
+                .maybe_reroute(p.route, 0, Time::from_cycles(500), &topo, &mut stats)
+                .unwrap();
+            assert!(
+                !rerouted
+                    .hops()
+                    .iter()
+                    .any(|h| (h.from, h.to) == (NodeId(0), NodeId(1))),
+                "rerouted path still crosses the down link"
+            );
+        }
+        assert!(t.arena_is_empty(), "claimed sends must drain the arena");
+        assert_eq!(stats.reroutes, 3);
     }
 
     #[test]
